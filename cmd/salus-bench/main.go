@@ -1,0 +1,58 @@
+// Command salus-bench regenerates the paper's runtime evaluation (§6.4):
+// Figure 10 (speedup of the five workloads on the Salus FPGA TEE over an
+// SGX CPU TEE) and Table 6 (the slowdown each TEE adds over its own plain
+// baseline), from the calibrated architectural model. With -measure it also
+// runs the real Go kernels with real AES-CTR traffic encryption on this
+// machine for functional ground truth.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"salus"
+	"salus/internal/accel"
+	"salus/internal/perfmodel"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("salus-bench: ")
+	measure := flag.Bool("measure", false, "also run the real kernels with real traffic encryption")
+	flag.Parse()
+
+	c := salus.DefaultPerfConstants()
+
+	fmt.Println("Table 6 — slowdown of CPU TEE and FPGA TEE (paper rows: Conv, Rendering, FaceDetect)")
+	fmt.Println()
+	fmt.Println(salus.FormatTable6(salus.Table6(c)))
+
+	fmt.Println("Figure 10 — performance of realistic workloads on a securely booted FPGA TEE")
+	fmt.Println()
+	fmt.Println(salus.FormatFigure10(salus.Figure10(c)))
+	fmt.Println("(paper envelope: 1.17x – 15.64x)")
+
+	if !*measure {
+		return
+	}
+	fmt.Println()
+	fmt.Println("Measured on this machine (real Go kernels, paper-scale workloads, real AES-CTR):")
+	fmt.Printf("%-14s %14s %14s %9s\n", "Application", "plain", "with crypto", "overhead")
+	for _, k := range accel.Kernels() {
+		w, ok := accel.PaperWorkload(k.Name(), 1)
+		if !ok {
+			continue
+		}
+		plain, err := perfmodel.MeasureCPU(k, w, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tee, err := perfmodel.MeasureCPU(k, w, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %14v %14v %8.2fx\n", k.Name(), plain.Round(10e3), tee.Round(10e3),
+			float64(tee)/float64(plain))
+	}
+}

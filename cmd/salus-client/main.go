@@ -1,0 +1,59 @@
+// Command salus-client is the data owner's side of a networked deployment:
+// it loads the expectations published for a cloud instance, attests the
+// whole heterogeneous platform with one cascaded-attestation round trip
+// over TCP, provisions a data key, and offloads an encrypted job.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"salus"
+	"salus/internal/client"
+	"salus/internal/remote"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("salus-client: ")
+	instAddr := flag.String("inst", "127.0.0.1:7002", "instance gateway address")
+	expPath := flag.String("exp", "salus-expectations.json", "expectations file from salus-server")
+	kernel := flag.String("kernel", "Conv", "kernel the instance deployed")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*expPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var exp client.Expectations
+	if err := json.Unmarshal(raw, &exp); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("expecting: user enclave %s, SM enclave %s, CL digest %x..., device %s\n",
+		exp.UserEnclave, exp.SMEnclave, exp.Digest[:8], exp.DNA)
+
+	sess, err := remote.DialInstance(*instAddr, exp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	if err := sess.Attest(); err != nil {
+		log.Fatalf("platform NOT trusted: %v", err)
+	}
+	fmt.Println("platform attested in one round trip; data key provisioned")
+
+	w, ok := salus.TestWorkload(*kernel, 7)
+	if !ok {
+		log.Fatalf("unknown kernel %q", *kernel)
+	}
+	out, err := sess.RunJob(*kernel, w.Params, w.Input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offloaded %s: %d input bytes -> %d output bytes (sealed both ways)\n",
+		*kernel, len(w.Input), len(out))
+}

@@ -1,0 +1,32 @@
+// Command salus-floorplan prints the device floor planning of Figure 8 and
+// the resource utilisation breakdown of Table 5: each benchmark accelerator
+// plus the SM logic against the one-SLR reconfigurable partition of the
+// Alveo U200.
+package main
+
+import (
+	"fmt"
+
+	"salus"
+	"salus/internal/accel"
+	"salus/internal/netlist"
+	"salus/internal/smlogic"
+)
+
+func main() {
+	fmt.Println("Figure 8 — floor planning of shell and CL on the FPGA")
+	fmt.Println()
+	fmt.Println(salus.U200Floorplan())
+
+	fmt.Println("Table 5 — resource utilisation breakdown of CL")
+	fmt.Println()
+	mods := make([]netlist.ModuleSpec, 0, 6)
+	for _, k := range accel.Kernels() {
+		mods = append(mods, k.Module())
+	}
+	mods = append(mods, smlogic.Module())
+	fmt.Println(netlist.UtilizationReport(salus.U200, mods))
+
+	fmt.Println("Partial bitstream volume (fixed by the reserved partition, §6.3):",
+		salus.U200.RPBytes()>>20, "MiB")
+}

@@ -1,0 +1,86 @@
+// Command salus-server hosts a complete networked Salus deployment: the
+// manufacturer's key-distribution RPC service and a cloud instance gateway
+// (boot / provision / jobs), with the instance's SM enclave fetching the
+// device key over TCP — the deployment topology of §6.1, on localhost.
+//
+// It writes the data owner's expectations (measurements, digest H, DNA,
+// root) to -exp so cmd/salus-client can verify the platform from "outside".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"salus"
+	"salus/internal/core"
+	"salus/internal/manufacturer"
+	"salus/internal/remote"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("salus-server: ")
+	kernel := flag.String("kernel", "Conv", "benchmark kernel to deploy")
+	mfrAddr := flag.String("mfr", "127.0.0.1:7001", "manufacturer service address")
+	instAddr := flag.String("inst", "127.0.0.1:7002", "instance gateway address")
+	expPath := flag.String("exp", "salus-expectations.json", "where to write the data owner's expectations")
+	flag.Parse()
+
+	k, ok := salus.KernelByName(*kernel)
+	if !ok {
+		log.Fatalf("unknown kernel %q", *kernel)
+	}
+
+	mfr, err := manufacturer.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	mfrSrv, mfrBound, err := remote.ServeManufacturer(mfr, *mfrAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mfrSrv.Close()
+	fmt.Println("manufacturer service:", mfrBound)
+
+	kc, err := remote.DialManufacturer(mfrBound)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer kc.Close()
+
+	sys, err := core.NewSystem(core.SystemConfig{
+		Kernel:       k,
+		Manufacturer: mfr,
+		KeyService:   kc,
+		Timing:       salus.FastTiming(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	instSrv, instBound, err := remote.ServeInstance(sys, *instAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer instSrv.Close()
+	fmt.Println("instance gateway:   ", instBound)
+
+	expJSON, err := json.MarshalIndent(sys.Expectations(), "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*expPath, expJSON, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("expectations written:", *expPath)
+	fmt.Printf("deployed %s CL (digest %x...); waiting for a data owner — Ctrl-C to stop\n",
+		*kernel, sys.Package.Digest[:8])
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("\nshutting down")
+}

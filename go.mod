@@ -1,0 +1,3 @@
+module salus
+
+go 1.22

@@ -1,0 +1,157 @@
+package bitman
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"salus/internal/bitstream"
+	"salus/internal/netlist"
+)
+
+func testEncoded(t testing.TB) []byte {
+	t.Helper()
+	d := &netlist.Design{Name: "cl", Modules: []netlist.ModuleSpec{
+		{Name: "accel", Res: netlist.Resources{LUT: 100, Register: 100, BRAM: 2},
+			Cells: []netlist.BRAMCell{{Name: "lut"}}},
+		{Name: "sm", Res: netlist.Resources{LUT: 100, Register: 100, BRAM: 2},
+			Cells: []netlist.BRAMCell{{Name: "secrets"}}},
+	}}
+	pl, err := netlist.Implement(d, netlist.TestDevice, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bitstream.FromPlaced(pl, "accel-v1").Encode()
+}
+
+func TestOpenInjectSerialize(t *testing.T) {
+	tool, err := Open(testEncoded(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := bytes.Repeat([]byte{0x5A}, 16)
+	if err := tool.InjectByPath("sm/secrets", 0, secret); err != nil {
+		t.Fatal(err)
+	}
+	if tool.Edits() != 1 {
+		t.Errorf("edits = %d", tool.Edits())
+	}
+	out := tool.Serialize()
+
+	// The result must be a fully valid bitstream carrying the secret.
+	im, err := bitstream.Decode(out)
+	if err != nil {
+		t.Fatalf("manipulated bitstream invalid: %v", err)
+	}
+	loc, _ := im.Cell("sm/secrets")
+	got, err := im.CellBytes(loc, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Errorf("injected value = % x", got)
+	}
+}
+
+func TestInjectOnlyChangesTargetCell(t *testing.T) {
+	enc := testEncoded(t)
+	tool, err := Open(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tool.InjectByPath("sm/secrets", 7, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := bitstream.Decode(enc)
+	after := tool.Image()
+	locLut, _ := after.Cell("accel/lut")
+	a, _ := after.CellBytes(locLut, 0, netlist.BRAMInitBytes)
+	b, _ := before.CellBytes(locLut, 0, netlist.BRAMInitBytes)
+	if !bytes.Equal(a, b) {
+		t.Error("untouched cell changed")
+	}
+}
+
+func TestInjectUnknownCell(t *testing.T) {
+	tool, err := Open(testEncoded(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tool.InjectByPath("sm/nonexistent", 0, []byte{1}); err == nil {
+		t.Error("injected into nonexistent cell")
+	}
+}
+
+func TestOpenRejectsCorrupt(t *testing.T) {
+	enc := testEncoded(t)
+	enc[len(enc)/2] ^= 1
+	if _, err := Open(enc); err == nil {
+		t.Error("opened a corrupted bitstream")
+	}
+}
+
+func TestReadCellSeesPlaintextSecret(t *testing.T) {
+	// Documented hazard: with a plaintext bitstream, the tool (or any
+	// attacker) can read injected secrets back out. Confidentiality comes
+	// only from encrypting before the bitstream leaves the enclave.
+	tool, err := Open(testEncoded(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	if err := tool.InjectByPath("sm/secrets", 0, secret); err != nil {
+		t.Fatal(err)
+	}
+	loc, _ := tool.Image().Cell("sm/secrets")
+	got, err := tool.ReadCell(loc, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Errorf("ReadCell = % x", got)
+	}
+}
+
+func TestPropertyInjectRoundTrip(t *testing.T) {
+	enc := testEncoded(t)
+	f := func(val []byte, off uint16) bool {
+		if len(val) > 64 {
+			val = val[:64]
+		}
+		offset := int(off) % (netlist.BRAMInitBytes - 64)
+		tool, err := Open(enc)
+		if err != nil {
+			return false
+		}
+		if err := tool.InjectByPath("sm/secrets", offset, val); err != nil {
+			return false
+		}
+		im, err := bitstream.Decode(tool.Serialize())
+		if err != nil {
+			return false
+		}
+		loc, _ := im.Cell("sm/secrets")
+		got, err := im.CellBytes(loc, offset, len(val))
+		return err == nil && bytes.Equal(got, val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkOpenInjectSerialize(b *testing.B) {
+	enc := testEncoded(b)
+	secret := make([]byte, 40)
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tool, err := Open(enc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tool.InjectByPath("sm/secrets", 0, secret); err != nil {
+			b.Fatal(err)
+		}
+		tool.Serialize()
+	}
+}

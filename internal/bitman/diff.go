@@ -1,0 +1,107 @@
+package bitman
+
+import (
+	"fmt"
+	"strings"
+
+	"salus/internal/bitstream"
+	"salus/internal/cryptoutil"
+)
+
+// Info summarises a bitstream for inspection tooling.
+type Info struct {
+	Device     string
+	IDCode     uint32
+	DesignName string
+	LogicID    string
+	Frames     int
+	FrameWords int
+	SizeBytes  int
+	Digest     [32]byte
+	Cells      []CellInfo
+}
+
+// CellInfo is one named cell in the header table.
+type CellInfo struct {
+	Path       string
+	FrameBase  int
+	FrameCount int
+}
+
+// Inspect parses an encoded bitstream and summarises it.
+func Inspect(encoded []byte) (Info, error) {
+	im, err := bitstream.Decode(encoded)
+	if err != nil {
+		return Info{}, fmt.Errorf("bitman: %w", err)
+	}
+	info := Info{
+		Device:     im.Header.Device,
+		IDCode:     im.Header.IDCode,
+		DesignName: im.Header.DesignName,
+		LogicID:    im.Header.LogicID,
+		Frames:     im.Frames(),
+		FrameWords: im.Header.FrameWords,
+		SizeBytes:  len(encoded),
+		Digest:     cryptoutil.Digest(encoded),
+	}
+	for _, c := range im.Header.Cells {
+		info.Cells = append(info.Cells, CellInfo{Path: c.Path, FrameBase: c.FrameBase, FrameCount: c.FrameCount})
+	}
+	return info, nil
+}
+
+// String renders the summary.
+func (i Info) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "device:     %s (idcode %#x)\n", i.Device, i.IDCode)
+	fmt.Fprintf(&b, "design:     %s (logic %s)\n", i.DesignName, i.LogicID)
+	fmt.Fprintf(&b, "frames:     %d x %d words (%d bytes total)\n", i.Frames, i.FrameWords, i.SizeBytes)
+	fmt.Fprintf(&b, "digest H:   %x\n", i.Digest)
+	fmt.Fprintf(&b, "cells:      %d named\n", len(i.Cells))
+	for _, c := range i.Cells {
+		fmt.Fprintf(&b, "  %-32s frames [%d, %d)\n", c.Path, c.FrameBase, c.FrameBase+c.FrameCount)
+	}
+	return b.String()
+}
+
+// FrameDiff is one differing frame between two bitstreams.
+type FrameDiff struct {
+	Frame     int
+	FirstByte int // offset of the first differing byte within the frame
+	Bytes     int // number of differing bytes
+}
+
+// Diff compares two encoded bitstreams frame by frame. Both must decode
+// and share geometry. It is the forensic counterpart of manipulation:
+// injecting a secret at Loc must touch exactly Loc's frames.
+func Diff(a, b []byte) ([]FrameDiff, error) {
+	ia, err := bitstream.Decode(a)
+	if err != nil {
+		return nil, fmt.Errorf("bitman: diff left: %w", err)
+	}
+	ib, err := bitstream.Decode(b)
+	if err != nil {
+		return nil, fmt.Errorf("bitman: diff right: %w", err)
+	}
+	if ia.Frames() != ib.Frames() || ia.Header.FrameWords != ib.Header.FrameWords {
+		return nil, fmt.Errorf("bitman: geometry mismatch: %dx%d vs %dx%d",
+			ia.Frames(), ia.Header.FrameWords, ib.Frames(), ib.Header.FrameWords)
+	}
+	var out []FrameDiff
+	for f := 0; f < ia.Frames(); f++ {
+		fa, fb := ia.Frame(f), ib.Frame(f)
+		first, count := -1, 0
+		for i := range fa {
+			if fa[i] != fb[i] {
+				if first < 0 {
+					first = i
+				}
+				count++
+			}
+		}
+		if count > 0 {
+			out = append(out, FrameDiff{Frame: f, FirstByte: first, Bytes: count})
+		}
+	}
+	return out, nil
+}

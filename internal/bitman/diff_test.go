@@ -1,0 +1,97 @@
+package bitman
+
+import (
+	"strings"
+	"testing"
+
+	"salus/internal/bitstream"
+	"salus/internal/netlist"
+)
+
+func TestInspect(t *testing.T) {
+	enc := testEncoded(t)
+	info, err := Inspect(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Device != "xctest" || info.LogicID != "accel-v1" || info.Frames != netlist.TestDevice.FramesPerSLR {
+		t.Errorf("info = %+v", info)
+	}
+	if len(info.Cells) != 2 {
+		t.Errorf("cells = %d", len(info.Cells))
+	}
+	out := info.String()
+	for _, want := range []string{"xctest", "digest H", "sm/secrets"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("inspect output missing %q", want)
+		}
+	}
+	if _, err := Inspect([]byte("junk")); err == nil {
+		t.Error("inspected junk")
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	enc := testEncoded(t)
+	d, err := Diff(enc, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 0 {
+		t.Errorf("identical bitstreams differ in %d frames", len(d))
+	}
+}
+
+func TestDiffLocalisesInjection(t *testing.T) {
+	// Injection must touch exactly the target cell's frames and nothing
+	// else — the forensic property behind "the integrity of the RoT
+	// indicates the integrity of the entire CL".
+	enc := testEncoded(t)
+	tool, err := Open(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tool.InjectByPath("sm/secrets", 0, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	after := tool.Serialize()
+
+	diffs, err := Diff(enc, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) == 0 {
+		t.Fatal("injection produced no frame diffs")
+	}
+	im, err := bitstream.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, _ := im.Cell("sm/secrets")
+	for _, d := range diffs {
+		if d.Frame < loc.FrameBase || d.Frame >= loc.FrameBase+loc.FrameCount {
+			t.Errorf("frame %d outside the injected cell [%d,%d)", d.Frame, loc.FrameBase, loc.FrameBase+loc.FrameCount)
+		}
+	}
+}
+
+func TestDiffGeometryMismatch(t *testing.T) {
+	enc := testEncoded(t)
+	d := &netlist.Design{Name: "cl", Modules: []netlist.ModuleSpec{
+		{Name: "sm", Res: netlist.Resources{LUT: 1, Register: 1, BRAM: 1},
+			Cells: []netlist.BRAMCell{{Name: "secrets"}}},
+	}}
+	odd := netlist.TestDevice
+	odd.FramesPerSLR = 1024
+	pl, err := netlist.Implement(d, odd, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := bitstream.FromPlaced(pl, "accel-v1").Encode()
+	if _, err := Diff(enc, other); err == nil {
+		t.Error("diffed mismatched geometries")
+	}
+	if _, err := Diff([]byte("junk"), enc); err == nil {
+		t.Error("diffed junk")
+	}
+}

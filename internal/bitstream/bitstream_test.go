@@ -1,0 +1,341 @@
+package bitstream
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"salus/internal/cryptoutil"
+	"salus/internal/netlist"
+)
+
+func testPlaced(t testing.TB, seed int64) *netlist.Placed {
+	t.Helper()
+	d := &netlist.Design{Name: "conv_cl", Modules: []netlist.ModuleSpec{
+		{Name: "accel", Res: netlist.Resources{LUT: 1000, Register: 2000, BRAM: 8},
+			Cells: []netlist.BRAMCell{{Name: "weights", Init: []byte{9, 9, 9}}}},
+		{Name: "sm", Res: netlist.Resources{LUT: 200, Register: 300, BRAM: 4},
+			Cells: []netlist.BRAMCell{{Name: "secrets"}}},
+	}}
+	pl, err := netlist.Implement(d, netlist.TestDevice, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func testImage(t testing.TB, seed int64) *Image {
+	return FromPlaced(testPlaced(t, seed), "accel-v1")
+}
+
+func TestFromPlacedGeometry(t *testing.T) {
+	im := testImage(t, 1)
+	if im.Frames() != netlist.TestDevice.FramesPerSLR {
+		t.Errorf("frames = %d, want %d", im.Frames(), netlist.TestDevice.FramesPerSLR)
+	}
+	if im.Header.LogicID != "accel-v1" || im.Header.Device != "xctest" {
+		t.Errorf("header = %+v", im.Header)
+	}
+	if len(im.Header.Cells) != 2 {
+		t.Errorf("cell table has %d entries, want 2", len(im.Header.Cells))
+	}
+	if err := im.VerifyFrames(); err != nil {
+		t.Errorf("fresh image frame ECC: %v", err)
+	}
+}
+
+func TestCellContentInImage(t *testing.T) {
+	im := testImage(t, 1)
+	loc, ok := im.Cell("accel/weights")
+	if !ok {
+		t.Fatal("accel/weights not in header table")
+	}
+	got, err := im.CellBytes(loc, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{9, 9, 9, 0}) {
+		t.Errorf("cell content = % x", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	im := testImage(t, 2)
+	enc := im.Encode()
+	back, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Header.DesignName != im.Header.DesignName || back.Frames() != im.Frames() {
+		t.Errorf("header round trip: %+v", back.Header)
+	}
+	if !bytes.Equal(back.Encode(), enc) {
+		t.Error("re-encode differs")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not a bitstream at all")); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+	if _, err := Decode([]byte(Magic)); err == nil {
+		t.Error("accepted truncated container")
+	}
+}
+
+func TestDecodeDetectsPayloadCorruption(t *testing.T) {
+	im := testImage(t, 3)
+	enc := im.Encode()
+	// Flip a bit in the frame payload region (well past the header).
+	enc[len(enc)/2] ^= 0x01
+	if _, err := Decode(enc); err == nil {
+		t.Error("accepted corrupted payload")
+	}
+}
+
+func TestDecodeDetectsTruncation(t *testing.T) {
+	enc := testImage(t, 3).Encode()
+	if _, err := Decode(enc[:len(enc)-8]); err == nil {
+		t.Error("accepted truncated bitstream")
+	}
+}
+
+func TestDesignChangesChangeBitstream(t *testing.T) {
+	a := testImage(t, 5).Encode()
+
+	d := &netlist.Design{Name: "other_cl", Modules: []netlist.ModuleSpec{
+		{Name: "accel", Res: netlist.Resources{LUT: 999, Register: 2000, BRAM: 8},
+			Cells: []netlist.BRAMCell{{Name: "weights"}}},
+		{Name: "sm", Res: netlist.Resources{LUT: 200, Register: 300, BRAM: 4},
+			Cells: []netlist.BRAMCell{{Name: "secrets"}}},
+	}}
+	pl, err := netlist.Implement(d, netlist.TestDevice, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := FromPlaced(pl, "accel-v1").Encode()
+	if cryptoutil.Digest(a) == cryptoutil.Digest(b) {
+		t.Error("different designs produced identical bitstreams")
+	}
+}
+
+func TestSeedChangesBitstream(t *testing.T) {
+	a := testImage(t, 1).Digest()
+	b := testImage(t, 2).Digest()
+	if a == b {
+		t.Error("different compile seeds produced identical bitstreams")
+	}
+}
+
+func TestSetCellBytesUpdatesECC(t *testing.T) {
+	im := testImage(t, 7)
+	loc, _ := im.Cell("sm/secrets")
+	key := bytes.Repeat([]byte{0xAB}, 16)
+	if err := im.SetCellBytes(loc, 0, key); err != nil {
+		t.Fatal(err)
+	}
+	if err := im.VerifyFrames(); err != nil {
+		t.Errorf("frame ECC stale after SetCellBytes: %v", err)
+	}
+	got, err := im.CellBytes(loc, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, key) {
+		t.Errorf("cell = % x", got)
+	}
+	// The edited image must still round-trip.
+	if _, err := Decode(im.Encode()); err != nil {
+		t.Errorf("edited image fails decode: %v", err)
+	}
+}
+
+func TestSetCellBytesRangeChecks(t *testing.T) {
+	im := testImage(t, 7)
+	loc, _ := im.Cell("sm/secrets")
+	if err := im.SetCellBytes(loc, netlist.BRAMInitBytes+1000000, []byte{1}); err == nil {
+		t.Error("accepted out-of-range offset")
+	}
+	if err := im.SetCellBytes(loc, -1, []byte{1}); err == nil {
+		t.Error("accepted negative offset")
+	}
+	bogus := netlist.Location{Path: "x", FrameBase: 1 << 29, FrameCount: 2}
+	if err := im.SetCellBytes(bogus, 0, []byte{1}); err == nil {
+		t.Error("accepted out-of-image cell")
+	}
+}
+
+func TestDigestCoversCellTable(t *testing.T) {
+	im := testImage(t, 9)
+	d1 := im.Digest()
+	im.Header.Cells[0].FrameBase++
+	if im.Digest() == d1 {
+		t.Error("digest does not cover the Loc metadata")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	key := cryptoutil.RandomKey(cryptoutil.DeviceKeySize)
+	enc := testImage(t, 4).Encode()
+	sealed, err := Encrypt(enc, key, "xctest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsEncrypted(sealed) {
+		t.Error("IsEncrypted = false")
+	}
+	if IsEncrypted(enc) {
+		t.Error("plaintext reported as encrypted")
+	}
+	if _, err := Decode(sealed); !errors.Is(err, ErrEncrypted) {
+		t.Errorf("Decode(encrypted) err = %v, want ErrEncrypted", err)
+	}
+	pt, err := Decrypt(sealed, key, "xctest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pt, enc) {
+		t.Error("decrypt mismatch")
+	}
+}
+
+func TestDecryptRejectsTamperAndWrongDevice(t *testing.T) {
+	key := cryptoutil.RandomKey(cryptoutil.DeviceKeySize)
+	sealed, err := Encrypt(testImage(t, 4).Encode(), key, "xctest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), sealed...)
+	bad[len(bad)-1] ^= 1
+	if _, err := Decrypt(bad, key, "xctest"); err == nil {
+		t.Error("accepted tampered ciphertext")
+	}
+	if _, err := Decrypt(sealed, key, "xcother"); err == nil {
+		t.Error("accepted wrong device binding")
+	}
+	other := cryptoutil.RandomKey(cryptoutil.DeviceKeySize)
+	if _, err := Decrypt(sealed, other, "xctest"); err == nil {
+		t.Error("accepted wrong device key")
+	}
+}
+
+func TestEncryptRejectsNonBitstream(t *testing.T) {
+	key := cryptoutil.RandomKey(cryptoutil.DeviceKeySize)
+	if _, err := Encrypt([]byte("junk"), key, "d"); err == nil {
+		t.Error("encrypted a non-container")
+	}
+}
+
+// Property: ciphertext reveals nothing positionally — two encryptions of
+// bitstreams differing in one secret byte differ essentially everywhere
+// past the nonce, and cell content is unrecoverable without the key.
+func TestPropertyInjectedSecretInvisible(t *testing.T) {
+	key := cryptoutil.RandomKey(cryptoutil.DeviceKeySize)
+	f := func(secret [16]byte) bool {
+		im := testImage(t, 11)
+		loc, _ := im.Cell("sm/secrets")
+		if err := im.SetCellBytes(loc, 0, secret[:]); err != nil {
+			return false
+		}
+		sealed, err := Encrypt(im.Encode(), key, "xctest")
+		if err != nil {
+			return false
+		}
+		return !bytes.Contains(sealed, secret[:8])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	im := testImage(b, 1)
+	b.SetBytes(int64(len(im.Encode())))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		im.Encode()
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	enc := testImage(b, 1).Encode()
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestCompressedRoundTrip(t *testing.T) {
+	im := testImage(t, 6)
+	comp := im.EncodeCompressed()
+	plain := im.Encode()
+	if len(comp) >= len(plain) {
+		t.Errorf("compression did not shrink: %d vs %d", len(comp), len(plain))
+	}
+	back, err := Decode(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back.Encode(), plain) {
+		t.Error("compressed round trip lost data")
+	}
+	if err := back.VerifyFrames(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressedTamperDetected(t *testing.T) {
+	comp := testImage(t, 6).EncodeCompressed()
+	for _, off := range []int{len(comp) / 2, len(comp) - 10} {
+		bad := append([]byte(nil), comp...)
+		bad[off] ^= 1
+		if _, err := Decode(bad); err == nil {
+			t.Errorf("accepted compressed bitstream with byte %d flipped", off)
+		}
+	}
+	if _, err := Decode(comp[:len(comp)/2]); err == nil {
+		t.Error("accepted truncated compressed bitstream")
+	}
+}
+
+func TestCompressedEncryptLoadPath(t *testing.T) {
+	// Compression composes with encryption and the secret-injection flow.
+	im := testImage(t, 8)
+	loc, _ := im.Cell("sm/secrets")
+	if err := im.SetCellBytes(loc, 0, bytes.Repeat([]byte{0x5C}, 16)); err != nil {
+		t.Fatal(err)
+	}
+	key := cryptoutil.RandomKey(cryptoutil.DeviceKeySize)
+	sealed, err := Encrypt(im.EncodeCompressed(), key, "xctest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := Decrypt(sealed, key, "xctest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.CellBytes(loc, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, bytes.Repeat([]byte{0x5C}, 16)) {
+		t.Error("secret lost through compress+encrypt round trip")
+	}
+}
+
+func BenchmarkEncodeCompressed(b *testing.B) {
+	im := testImage(b, 1)
+	b.SetBytes(int64(len(im.Encode())))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		im.EncodeCompressed()
+	}
+}

@@ -1,0 +1,355 @@
+package bitstream
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"salus/internal/cryptoutil"
+	"salus/internal/netlist"
+)
+
+// Encode serialises the image into the wire container loaded through the
+// shell: magic, header block, padding and bus-width detection words, sync
+// word, configuration packets (IDCODE, FAR, WCFG, FDRI with frame data),
+// global CRC, and DESYNC.
+func (im *Image) Encode() []byte { return im.encode(false) }
+
+// EncodeCompressed serialises with multi-frame-write compression: runs of
+// identical consecutive frames are written once with a repeat count, as the
+// Xilinx bitstream compression option does. Unused (zeroed) partition area
+// collapses dramatically; place-and-route output barely compresses.
+func (im *Image) EncodeCompressed() []byte { return im.encode(true) }
+
+func (im *Image) encode(compressed bool) []byte {
+	var hdr bytes.Buffer
+	writeString(&hdr, im.Header.Device)
+	writeU32(&hdr, im.Header.IDCode)
+	writeString(&hdr, im.Header.DesignName)
+	writeString(&hdr, im.Header.LogicID)
+	writeU32(&hdr, im.Header.RPBase)
+	writeU32(&hdr, uint32(im.Header.Frames))
+	writeU32(&hdr, uint32(im.Header.FrameWords))
+	flags := uint32(0)
+	if compressed {
+		flags |= flagCompressed
+	}
+	writeU32(&hdr, flags)
+	writeU32(&hdr, uint32(len(im.Header.Cells)))
+	for _, c := range im.Header.Cells {
+		writeString(&hdr, c.Path)
+		writeU32(&hdr, uint32(c.FrameBase))
+		writeU32(&hdr, uint32(c.FrameCount))
+	}
+
+	payload := im.backing
+	if compressed {
+		payload = compressFrames(im.frames)
+	}
+
+	out := bytes.NewBuffer(make([]byte, 0, len(payload)+hdr.Len()+128))
+	out.WriteString(Magic)
+	writeU32(out, uint32(hdr.Len()))
+	out.Write(hdr.Bytes())
+
+	// Padding and sync, as a real bitstream front matter.
+	writeU32(out, 0xFFFFFFFF)
+	writeU32(out, 0xFFFFFFFF)
+	writeU32(out, 0x000000BB) // bus width sync
+	writeU32(out, 0x11220044) // bus width detect
+	writeU32(out, 0xFFFFFFFF)
+	writeU32(out, SyncWord)
+
+	// Configuration packets.
+	writeU32(out, type1(regIDCODE, 1))
+	writeU32(out, im.Header.IDCode)
+	writeU32(out, type1(regFAR, 1))
+	writeU32(out, im.Header.RPBase)
+	writeU32(out, type1(regCMD, 1))
+	writeU32(out, cmdWCFG)
+	writeU32(out, type1(regFDRI, 0))
+	writeU32(out, type2(uint32(len(payload)/4)))
+	out.Write(payload)
+
+	// Global CRC over the frame payload, then desync.
+	writeU32(out, type1(regCRC, 1))
+	writeU32(out, crc32.ChecksumIEEE(payload))
+	writeU32(out, type1(regCMD, 1))
+	writeU32(out, cmdDESYNC)
+	return out.Bytes()
+}
+
+// flagCompressed marks multi-frame-write compression in the header flags.
+const flagCompressed = 1 << 0
+
+// compressFrames emits [repeat uint32][frame bytes] records for runs of
+// identical consecutive frames.
+func compressFrames(frames [][]byte) []byte {
+	var out bytes.Buffer
+	for i := 0; i < len(frames); {
+		j := i + 1
+		for j < len(frames) && bytes.Equal(frames[j], frames[i]) {
+			j++
+		}
+		writeU32(&out, uint32(j-i))
+		out.Write(frames[i])
+		i = j
+	}
+	return out.Bytes()
+}
+
+// expandFrames inverts compressFrames into an image's backing store.
+func expandFrames(payload []byte, frames, frameBytes int) ([]byte, error) {
+	out := make([]byte, 0, frames*frameBytes)
+	r := &reader{data: payload}
+	for len(out) < frames*frameBytes {
+		repeat := int(r.u32())
+		frame := r.take(frameBytes)
+		if r.err != nil || repeat <= 0 || repeat > frames {
+			return nil, fmt.Errorf("%w: bad multi-frame-write record", ErrCorrupt)
+		}
+		for k := 0; k < repeat; k++ {
+			out = append(out, frame...)
+		}
+	}
+	if len(out) != frames*frameBytes || r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: compressed payload does not expand to the partition", ErrCorrupt)
+	}
+	return out, nil
+}
+
+// Decode parses and validates a plaintext container produced by Encode,
+// checking magic, sync word, packet structure, the global CRC, and every
+// frame's ECC word.
+func Decode(data []byte) (*Image, error) {
+	if len(data) >= len(EncMagic) && string(data[:len(EncMagic)]) == EncMagic {
+		return nil, ErrEncrypted
+	}
+	r := &reader{data: data}
+	if string(r.take(len(Magic))) != Magic {
+		return nil, ErrBadMagic
+	}
+	hdrLen := int(r.u32())
+	if r.err != nil || hdrLen < 0 || hdrLen > r.remaining() {
+		return nil, ErrCorrupt
+	}
+	hr := &reader{data: r.take(hdrLen)}
+	var h Header
+	h.Device = hr.str()
+	h.IDCode = hr.u32()
+	h.DesignName = hr.str()
+	h.LogicID = hr.str()
+	h.RPBase = hr.u32()
+	h.Frames = int(hr.u32())
+	h.FrameWords = int(hr.u32())
+	flags := hr.u32()
+	nc := int(hr.u32())
+	if hr.err != nil || h.Frames < 0 || h.FrameWords < 2 || nc < 0 || nc > 1<<20 {
+		return nil, ErrCorrupt
+	}
+	compressed := flags&flagCompressed != 0
+	for i := 0; i < nc; i++ {
+		var c netlist.Location
+		c.Path = hr.str()
+		c.FrameBase = int(hr.u32())
+		c.FrameCount = int(hr.u32())
+		if hr.err != nil {
+			return nil, ErrCorrupt
+		}
+		h.Cells = append(h.Cells, c)
+	}
+
+	// Scan front matter until the sync word.
+	synced := false
+	for r.remaining() >= 4 {
+		if r.u32() == SyncWord {
+			synced = true
+			break
+		}
+	}
+	if !synced || r.err != nil {
+		return nil, fmt.Errorf("%w: no sync word", ErrCorrupt)
+	}
+
+	expectPacket(r, regIDCODE)
+	if id := r.u32(); id != h.IDCode {
+		return nil, fmt.Errorf("%w: IDCODE %#x != header %#x", ErrCorrupt, id, h.IDCode)
+	}
+	expectPacket(r, regFAR)
+	r.u32() // frame address
+	expectPacket(r, regCMD)
+	if cmd := r.u32(); cmd != cmdWCFG {
+		return nil, fmt.Errorf("%w: expected WCFG, got %#x", ErrCorrupt, cmd)
+	}
+	expectPacket(r, regFDRI)
+	words := int(r.u32() & 0x07FFFFFF)
+	if r.err != nil {
+		return nil, ErrCorrupt
+	}
+	if !compressed && words != h.Frames*h.FrameWords {
+		return nil, fmt.Errorf("%w: FDRI word count %d != %d frames x %d words", ErrCorrupt, words, h.Frames, h.FrameWords)
+	}
+	payload := r.take(words * 4)
+	if r.err != nil {
+		return nil, ErrCorrupt
+	}
+
+	expectPacket(r, regCRC)
+	crc := r.u32()
+	if r.err != nil {
+		return nil, ErrCorrupt
+	}
+	if crc != crc32.ChecksumIEEE(payload) {
+		return nil, ErrCRC
+	}
+
+	expectPacket(r, regCMD)
+	if cmd := r.u32(); r.err == nil && cmd != cmdDESYNC {
+		return nil, fmt.Errorf("%w: expected DESYNC trailer, got %#x", ErrCorrupt, cmd)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+
+	if compressed {
+		expanded, err := expandFrames(payload, h.Frames, h.FrameWords*4)
+		if err != nil {
+			return nil, err
+		}
+		payload = expanded
+	}
+	im := newImage(h)
+	copy(im.backing, payload)
+	if err := im.VerifyFrames(); err != nil {
+		return nil, err
+	}
+	return im, nil
+}
+
+// Digest returns the SHA-256 digest H of the encoded bitstream — the value
+// the developer publishes and the data owner forwards through the
+// attestation chain (§4.2). Because the header embeds the cell table, H
+// also covers the Loc metadata.
+func (im *Image) Digest() [32]byte {
+	return cryptoutil.Digest(im.Encode())
+}
+
+// Encrypt seals an encoded plaintext container under the per-device key,
+// modelling the AES-GCM-256 bitstream encryption the paper aligns with
+// Vivado's (XAPP1267). The device profile name is bound as additional data.
+func Encrypt(encoded []byte, deviceKey []byte, device string) ([]byte, error) {
+	if len(encoded) < len(Magic) || string(encoded[:len(Magic)]) != Magic {
+		return nil, ErrBadMagic
+	}
+	ct, err := cryptoutil.Seal(deviceKey, encoded, []byte(device))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(EncMagic)+len(ct))
+	out = append(out, EncMagic...)
+	return append(out, ct...), nil
+}
+
+// IsEncrypted reports whether data is an encrypted container.
+func IsEncrypted(data []byte) bool {
+	return len(data) >= len(EncMagic) && string(data[:len(EncMagic)]) == EncMagic
+}
+
+// Decrypt opens an encrypted container. Only the FPGA's internal
+// configuration engine holds the device key, so in the model this is called
+// from inside the fabric (and from tests).
+func Decrypt(data []byte, deviceKey []byte, device string) ([]byte, error) {
+	if !IsEncrypted(data) {
+		return nil, ErrBadMagic
+	}
+	pt, err := cryptoutil.Open(deviceKey, data[len(EncMagic):], []byte(device))
+	if err != nil {
+		return nil, err
+	}
+	return pt, nil
+}
+
+// type1 builds a simplified type-1 packet header: write to register reg
+// with an immediate word count.
+func type1(reg uint32, words uint32) uint32 {
+	return 0x30000000 | reg<<13 | (words & 0x7FF)
+}
+
+// type2 builds a type-2 packet header carrying a large word count.
+func type2(words uint32) uint32 {
+	return 0x50000000 | (words & 0x07FFFFFF)
+}
+
+func expectPacket(r *reader, reg uint32) {
+	if r.err != nil {
+		return
+	}
+	w := r.u32()
+	if r.err != nil {
+		return
+	}
+	if w>>28 == 0x5 {
+		// type-2 packet: the word count was consumed by the caller's u32.
+		r.unread(4)
+		return
+	}
+	if w>>28 != 0x3 || (w>>13)&0x1F != reg {
+		r.err = fmt.Errorf("%w: expected packet for reg %#x, got word %#x", ErrCorrupt, reg, w)
+	}
+}
+
+type reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *reader) remaining() int { return len(r.data) - r.pos }
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.remaining() < n {
+		r.err = ErrCorrupt
+		return nil
+	}
+	out := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return out
+}
+
+func (r *reader) unread(n int) {
+	if r.pos >= n {
+		r.pos -= n
+	}
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *reader) str() string {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || n > r.remaining() {
+		r.err = ErrCorrupt
+		return ""
+	}
+	return string(r.take(n))
+}
+
+func writeU32(w *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	w.Write(b[:])
+}
+
+func writeString(w *bytes.Buffer, s string) {
+	writeU32(w, uint32(len(s)))
+	w.WriteString(s)
+}

@@ -1,0 +1,61 @@
+package bitstream
+
+import (
+	"testing"
+
+	"salus/internal/cryptoutil"
+	"salus/internal/netlist"
+)
+
+// FuzzDecode feeds arbitrary bytes — including mutations of valid
+// bitstreams — to the decoder; it must either return a valid image or an
+// error, never panic, and anything it accepts must re-encode canonically.
+func FuzzDecode(f *testing.F) {
+	d := &netlist.Design{Name: "cl", Modules: []netlist.ModuleSpec{
+		{Name: "sm", Res: netlist.Resources{LUT: 10, Register: 10, BRAM: 1},
+			Cells: []netlist.BRAMCell{{Name: "secrets"}}},
+	}}
+	pl, err := netlist.Implement(d, netlist.TestDevice, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := FromPlaced(pl, "x").Encode()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	f.Add([]byte(EncMagic))
+	f.Add(valid[:64])
+	mutated := append([]byte(nil), valid...)
+	mutated[len(mutated)/3] ^= 0xFF
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		im, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Accepted input: must verify and re-encode decodably.
+		if err := im.VerifyFrames(); err != nil {
+			t.Fatalf("accepted image fails frame ECC: %v", err)
+		}
+		re := im.Encode()
+		if _, err := Decode(re); err != nil {
+			t.Fatalf("re-encode of accepted image rejected: %v", err)
+		}
+	})
+}
+
+// FuzzDecrypt ensures the encrypted-container path never panics and only
+// round-trips authentic ciphertexts.
+func FuzzDecrypt(f *testing.F) {
+	key := cryptoutil.RandomKey(cryptoutil.DeviceKeySize)
+	f.Add([]byte(EncMagic), []byte("xctest"))
+	f.Add([]byte{}, []byte(""))
+	f.Fuzz(func(t *testing.T, data, device []byte) {
+		if _, err := Decrypt(data, key, string(device)); err == nil {
+			if !IsEncrypted(data) {
+				t.Fatal("Decrypt succeeded on a non-encrypted container")
+			}
+		}
+	})
+}

@@ -1,0 +1,494 @@
+// Package channel defines the wire messages exchanged between the host and
+// the custom logic over the (untrusted, shell-mediated) PCIe link, and the
+// cryptographic framing that protects them:
+//
+//   - the CL attestation protocol of Figure 4a — a SipHash-MAC
+//     challenge/response over the nonce and Device DNA, keyed by the
+//     dynamically injected Key_attest;
+//
+//   - the secure register channel of §4.5 — register transactions encrypted
+//     with AES-CTR under Key_session and authenticated with SipHash, with a
+//     strictly increasing session counter Ctr_session for replay protection;
+//
+//   - the direct, unprotected register/memory channel that bypasses the SM
+//     components (the developer encrypts bulk data at the application layer
+//     and moves it over this path).
+//
+// Every message crosses a bus the shell fully controls, so decoding is
+// defensive throughout: any malformed, truncated, or forged frame yields an
+// error, never a panic.
+package channel
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"salus/internal/cryptoutil"
+	"salus/internal/siphash"
+)
+
+// Message type tags.
+const (
+	MsgAttestReq     byte = 0x01
+	MsgAttestResp    byte = 0x02
+	MsgSecureReg     byte = 0x03
+	MsgSecureRegResp byte = 0x04
+	MsgDirectReg     byte = 0x05
+	MsgDirectResp    byte = 0x06
+	MsgMemWrite      byte = 0x07
+	MsgMemRead       byte = 0x08
+	MsgMemData       byte = 0x09
+	MsgRekey         byte = 0x0A
+	MsgRekeyResp     byte = 0x0B
+	MsgError         byte = 0x7F
+)
+
+// Errors returned by the decoders and the secure channel.
+var (
+	ErrMalformed = errors.New("channel: malformed message")
+	ErrMAC       = errors.New("channel: MAC verification failed")
+	ErrReplay    = errors.New("channel: stale session counter (replay)")
+)
+
+// ---------------------------------------------------------------------------
+// CL attestation (Figure 4a)
+
+// AttestRequest is the SM enclave's challenge: a fresh nonce and the Device
+// DNA the CSP claims the customer rented, authenticated under Key_attest.
+type AttestRequest struct {
+	Nonce uint64
+	DNA   string
+	MAC   uint64
+}
+
+// AttestResponse is the SM logic's reply: the incremented nonce and the
+// DNA the logic reads from its own DNA_PORTE2, authenticated under the
+// Key_attest it was loaded with.
+type AttestResponse struct {
+	Value uint64 // Nonce + 1
+	DNA   string
+	MAC   uint64
+}
+
+// Domain-separation prefixes for the two MAC directions.
+var (
+	attestReqTag  = []byte("salus/attest/req\x00")
+	attestRespTag = []byte("salus/attest/rsp\x00")
+)
+
+func attestMAC(tag []byte, key []byte, v uint64, dna string) uint64 {
+	msg := make([]byte, 0, len(tag)+8+len(dna))
+	msg = append(msg, tag...)
+	msg = binary.BigEndian.AppendUint64(msg, v)
+	msg = append(msg, dna...)
+	return siphash.Sum64(key, msg)
+}
+
+// AttestMACReq computes MAC_req over (N, DNA) under Key_attest.
+func AttestMACReq(key []byte, nonce uint64, dna string) uint64 {
+	return attestMAC(attestReqTag, key, nonce, dna)
+}
+
+// AttestMACResp computes MAC_rsp over (N+1, DNA') under Key_attest.
+func AttestMACResp(key []byte, value uint64, dna string) uint64 {
+	return attestMAC(attestRespTag, key, value, dna)
+}
+
+// Encode serialises the request with its type tag.
+func (r AttestRequest) Encode() []byte {
+	out := []byte{MsgAttestReq}
+	out = binary.BigEndian.AppendUint64(out, r.Nonce)
+	out = appendString(out, r.DNA)
+	return binary.BigEndian.AppendUint64(out, r.MAC)
+}
+
+// DecodeAttestRequest parses an attestation request frame.
+func DecodeAttestRequest(b []byte) (AttestRequest, error) {
+	var r AttestRequest
+	body, ok := expectTag(b, MsgAttestReq)
+	if !ok || len(body) < 8 {
+		return r, ErrMalformed
+	}
+	r.Nonce = binary.BigEndian.Uint64(body)
+	s, rest, ok := takeString(body[8:])
+	if !ok || len(rest) != 8 {
+		return r, ErrMalformed
+	}
+	r.DNA = s
+	r.MAC = binary.BigEndian.Uint64(rest)
+	return r, nil
+}
+
+// Encode serialises the response with its type tag.
+func (r AttestResponse) Encode() []byte {
+	out := []byte{MsgAttestResp}
+	out = binary.BigEndian.AppendUint64(out, r.Value)
+	out = appendString(out, r.DNA)
+	return binary.BigEndian.AppendUint64(out, r.MAC)
+}
+
+// DecodeAttestResponse parses an attestation response frame.
+func DecodeAttestResponse(b []byte) (AttestResponse, error) {
+	var r AttestResponse
+	body, ok := expectTag(b, MsgAttestResp)
+	if !ok || len(body) < 8 {
+		return r, ErrMalformed
+	}
+	r.Value = binary.BigEndian.Uint64(body)
+	s, rest, ok := takeString(body[8:])
+	if !ok || len(rest) != 8 {
+		return r, ErrMalformed
+	}
+	r.DNA = s
+	r.MAC = binary.BigEndian.Uint64(rest)
+	return r, nil
+}
+
+// ---------------------------------------------------------------------------
+// Register transactions
+
+// RegTxn is one register access on the accelerator's AXI4-Lite-style
+// control interface.
+type RegTxn struct {
+	Write bool
+	Addr  uint32
+	Data  uint64 // write data; ignored for reads
+}
+
+// RegResult is the accelerator's reply.
+type RegResult struct {
+	Data uint64 // read data; echoes write data on writes
+	OK   bool
+}
+
+func encodeRegTxn(t RegTxn) []byte {
+	out := make([]byte, 0, 13)
+	w := byte(0)
+	if t.Write {
+		w = 1
+	}
+	out = append(out, w)
+	out = binary.BigEndian.AppendUint32(out, t.Addr)
+	return binary.BigEndian.AppendUint64(out, t.Data)
+}
+
+func decodeRegTxn(b []byte) (RegTxn, bool) {
+	if len(b) != 13 || b[0] > 1 {
+		return RegTxn{}, false
+	}
+	return RegTxn{
+		Write: b[0] == 1,
+		Addr:  binary.BigEndian.Uint32(b[1:5]),
+		Data:  binary.BigEndian.Uint64(b[5:13]),
+	}, true
+}
+
+func encodeRegResult(r RegResult) []byte {
+	out := make([]byte, 0, 9)
+	ok := byte(0)
+	if r.OK {
+		ok = 1
+	}
+	out = append(out, ok)
+	return binary.BigEndian.AppendUint64(out, r.Data)
+}
+
+func decodeRegResult(b []byte) (RegResult, bool) {
+	if len(b) != 9 || b[0] > 1 {
+		return RegResult{}, false
+	}
+	return RegResult{OK: b[0] == 1, Data: binary.BigEndian.Uint64(b[1:9])}, true
+}
+
+// ---------------------------------------------------------------------------
+// Secure register channel (§4.5)
+
+// Direction bytes bound into the IV and MAC so a reflected frame can never
+// be confused for a response (and vice versa).
+const (
+	dirRequest  byte = 0x00
+	dirResponse byte = 0x01
+)
+
+func sessionIV(ctr uint64, dir byte) []byte {
+	iv := make([]byte, 16)
+	binary.BigEndian.PutUint64(iv, ctr)
+	iv[8] = dir
+	return iv
+}
+
+func sealSecure(tag byte, dir byte, key []byte, ctr uint64, payload []byte) ([]byte, error) {
+	ct, err := cryptoutil.XORKeyStreamCTR(key, sessionIV(ctr, dir), payload)
+	if err != nil {
+		return nil, err
+	}
+	out := []byte{tag}
+	out = binary.BigEndian.AppendUint64(out, ctr)
+	out = append(out, ct...)
+	mac := siphash.Sum64(key, out)
+	return binary.BigEndian.AppendUint64(out, mac), nil
+}
+
+func openSecure(tag byte, dir byte, key []byte, wantCtr uint64, frame []byte) ([]byte, error) {
+	if len(frame) < 1+8+8 || frame[0] != tag {
+		return nil, ErrMalformed
+	}
+	body := frame[:len(frame)-8]
+	mac := binary.BigEndian.Uint64(frame[len(frame)-8:])
+	if !siphash.Verify(key, body, mac) {
+		return nil, ErrMAC
+	}
+	ctr := binary.BigEndian.Uint64(body[1:9])
+	if ctr != wantCtr {
+		return nil, fmt.Errorf("%w: counter %d, expected %d", ErrReplay, ctr, wantCtr)
+	}
+	return cryptoutil.XORKeyStreamCTR(key, sessionIV(ctr, dir), body[9:])
+}
+
+// SealRegRequest protects a register transaction for the host→CL direction
+// under Key_session at counter ctr.
+func SealRegRequest(key []byte, ctr uint64, txn RegTxn) ([]byte, error) {
+	return sealSecure(MsgSecureReg, dirRequest, key, ctr, encodeRegTxn(txn))
+}
+
+// OpenRegRequest verifies and decrypts a secure register request; wantCtr
+// is the receiver's expected next counter (strictly increasing — anything
+// else is a replay or reorder and is rejected).
+func OpenRegRequest(key []byte, wantCtr uint64, frame []byte) (RegTxn, error) {
+	pt, err := openSecure(MsgSecureReg, dirRequest, key, wantCtr, frame)
+	if err != nil {
+		return RegTxn{}, err
+	}
+	txn, ok := decodeRegTxn(pt)
+	if !ok {
+		return RegTxn{}, ErrMalformed
+	}
+	return txn, nil
+}
+
+// SealRegResponse protects a register result for the CL→host direction at
+// the same counter as its request.
+func SealRegResponse(key []byte, ctr uint64, res RegResult) ([]byte, error) {
+	return sealSecure(MsgSecureRegResp, dirResponse, key, ctr, encodeRegResult(res))
+}
+
+// OpenRegResponse verifies and decrypts a secure register response.
+func OpenRegResponse(key []byte, wantCtr uint64, frame []byte) (RegResult, error) {
+	pt, err := openSecure(MsgSecureRegResp, dirResponse, key, wantCtr, frame)
+	if err != nil {
+		return RegResult{}, err
+	}
+	res, ok := decodeRegResult(pt)
+	if !ok {
+		return RegResult{}, ErrMalformed
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// Session rekeying
+
+// SealRekeyRequest protects a session-key rotation: the new key and new
+// counter ride the *current* session key at the current counter, so only
+// the party holding Key_session can rotate it.
+func SealRekeyRequest(key []byte, ctr uint64, newKey []byte, newCtr uint64) ([]byte, error) {
+	if len(newKey) != 16 {
+		return nil, fmt.Errorf("%w: rekey needs a 16-byte key", ErrMalformed)
+	}
+	payload := make([]byte, 0, 24)
+	payload = append(payload, newKey...)
+	payload = binary.BigEndian.AppendUint64(payload, newCtr)
+	return sealSecure(MsgRekey, dirRequest, key, ctr, payload)
+}
+
+// OpenRekeyRequest verifies and decrypts a rekey request.
+func OpenRekeyRequest(key []byte, wantCtr uint64, frame []byte) (newKey []byte, newCtr uint64, err error) {
+	pt, err := openSecure(MsgRekey, dirRequest, key, wantCtr, frame)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(pt) != 24 {
+		return nil, 0, ErrMalformed
+	}
+	return pt[:16], binary.BigEndian.Uint64(pt[16:]), nil
+}
+
+// SealRekeyResponse acknowledges a rotation under the *old* key at the
+// request's counter, so the initiator can distinguish "installed" from a
+// dropped request before switching.
+func SealRekeyResponse(key []byte, ctr uint64) ([]byte, error) {
+	return sealSecure(MsgRekeyResp, dirResponse, key, ctr, []byte{1})
+}
+
+// OpenRekeyResponse verifies a rotation acknowledgement.
+func OpenRekeyResponse(key []byte, wantCtr uint64, frame []byte) error {
+	pt, err := openSecure(MsgRekeyResp, dirResponse, key, wantCtr, frame)
+	if err != nil {
+		return err
+	}
+	if len(pt) != 1 || pt[0] != 1 {
+		return ErrMalformed
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Direct (unprotected) channel
+
+// EncodeDirectReg frames a plaintext register transaction.
+func EncodeDirectReg(txn RegTxn) []byte {
+	return append([]byte{MsgDirectReg}, encodeRegTxn(txn)...)
+}
+
+// DecodeDirectReg parses a plaintext register transaction.
+func DecodeDirectReg(b []byte) (RegTxn, error) {
+	body, ok := expectTag(b, MsgDirectReg)
+	if !ok {
+		return RegTxn{}, ErrMalformed
+	}
+	txn, ok := decodeRegTxn(body)
+	if !ok {
+		return RegTxn{}, ErrMalformed
+	}
+	return txn, nil
+}
+
+// EncodeDirectResp frames a plaintext register result.
+func EncodeDirectResp(res RegResult) []byte {
+	return append([]byte{MsgDirectResp}, encodeRegResult(res)...)
+}
+
+// DecodeDirectResp parses a plaintext register result.
+func DecodeDirectResp(b []byte) (RegResult, error) {
+	body, ok := expectTag(b, MsgDirectResp)
+	if !ok {
+		return RegResult{}, ErrMalformed
+	}
+	res, ok := decodeRegResult(body)
+	if !ok {
+		return RegResult{}, ErrMalformed
+	}
+	return res, nil
+}
+
+// MemWrite is a bulk DMA write to CL-attached device memory.
+type MemWrite struct {
+	Addr uint64
+	Data []byte
+}
+
+// MemRead requests n bytes from CL-attached device memory.
+type MemRead struct {
+	Addr uint64
+	N    uint32
+}
+
+// EncodeMemWrite frames a DMA write.
+func EncodeMemWrite(m MemWrite) []byte {
+	out := []byte{MsgMemWrite}
+	out = binary.BigEndian.AppendUint64(out, m.Addr)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(m.Data)))
+	return append(out, m.Data...)
+}
+
+// DecodeMemWrite parses a DMA write.
+func DecodeMemWrite(b []byte) (MemWrite, error) {
+	body, ok := expectTag(b, MsgMemWrite)
+	if !ok || len(body) < 12 {
+		return MemWrite{}, ErrMalformed
+	}
+	n := binary.BigEndian.Uint32(body[8:12])
+	if uint32(len(body)-12) != n {
+		return MemWrite{}, ErrMalformed
+	}
+	return MemWrite{Addr: binary.BigEndian.Uint64(body), Data: body[12:]}, nil
+}
+
+// EncodeMemRead frames a DMA read request.
+func EncodeMemRead(m MemRead) []byte {
+	out := []byte{MsgMemRead}
+	out = binary.BigEndian.AppendUint64(out, m.Addr)
+	return binary.BigEndian.AppendUint32(out, m.N)
+}
+
+// DecodeMemRead parses a DMA read request.
+func DecodeMemRead(b []byte) (MemRead, error) {
+	body, ok := expectTag(b, MsgMemRead)
+	if !ok || len(body) != 12 {
+		return MemRead{}, ErrMalformed
+	}
+	return MemRead{Addr: binary.BigEndian.Uint64(body), N: binary.BigEndian.Uint32(body[8:12])}, nil
+}
+
+// EncodeMemData frames DMA read data.
+func EncodeMemData(data []byte) []byte {
+	out := []byte{MsgMemData}
+	out = binary.BigEndian.AppendUint32(out, uint32(len(data)))
+	return append(out, data...)
+}
+
+// DecodeMemData parses DMA read data.
+func DecodeMemData(b []byte) ([]byte, error) {
+	body, ok := expectTag(b, MsgMemData)
+	if !ok || len(body) < 4 {
+		return nil, ErrMalformed
+	}
+	n := binary.BigEndian.Uint32(body)
+	if uint32(len(body)-4) != n {
+		return nil, ErrMalformed
+	}
+	return body[4:], nil
+}
+
+// EncodeError frames a CL-side error string.
+func EncodeError(msg string) []byte {
+	return appendString([]byte{MsgError}, msg)
+}
+
+// DecodeError parses an error frame; ok reports whether b is one.
+func DecodeError(b []byte) (string, bool) {
+	body, ok := expectTag(b, MsgError)
+	if !ok {
+		return "", false
+	}
+	s, rest, ok := takeString(body)
+	if !ok || len(rest) != 0 {
+		return "", false
+	}
+	return s, true
+}
+
+// MsgType returns the type tag of a frame, or 0 for an empty frame.
+func MsgType(b []byte) byte {
+	if len(b) == 0 {
+		return 0
+	}
+	return b[0]
+}
+
+// ---------------------------------------------------------------------------
+// Framing helpers
+
+func expectTag(b []byte, tag byte) ([]byte, bool) {
+	if len(b) < 1 || b[0] != tag {
+		return nil, false
+	}
+	return b[1:], true
+}
+
+func appendString(out []byte, s string) []byte {
+	out = binary.BigEndian.AppendUint16(out, uint16(len(s)))
+	return append(out, s...)
+}
+
+func takeString(b []byte) (string, []byte, bool) {
+	if len(b) < 2 {
+		return "", nil, false
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	if len(b)-2 < n {
+		return "", nil, false
+	}
+	return string(b[2 : 2+n]), b[2+n:], true
+}

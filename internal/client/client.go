@@ -1,0 +1,97 @@
+// Package client implements the data owner's side (the "user client" of
+// Figure 3 and §5.2.1): it runs in a trusted environment, knows the
+// expected identities of every platform component — the user enclave and SM
+// enclave measurements, the bitstream digest H, and the rented device's DNA
+// — and verifies the single deferred remote attestation quote produced by
+// the cascaded attestation. Only after that verification does it release
+// the symmetric data key.
+package client
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"errors"
+	"fmt"
+
+	"salus/internal/cryptoutil"
+	"salus/internal/fpga"
+	"salus/internal/sgx"
+	"salus/internal/smapp"
+	"salus/internal/userapp"
+)
+
+// ErrVerify is the umbrella for cascaded attestation verification failures.
+var ErrVerify = errors.New("client: cascaded attestation verification failed")
+
+// Expectations pin the identities of all heterogeneous components.
+type Expectations struct {
+	Root        []byte // provisioning authority public key
+	UserEnclave sgx.Measurement
+	SMEnclave   sgx.Measurement
+	Digest      [32]byte // bitstream digest H
+	DNA         fpga.DNA // device the customer rented
+}
+
+// Verifier is a data owner session.
+type Verifier struct {
+	exp Expectations
+}
+
+// New creates a verifier with the given expectations.
+func New(exp Expectations) *Verifier { return &Verifier{exp: exp} }
+
+// NewNonce draws the RA challenge nonce.
+func (v *Verifier) NewNonce() []byte {
+	return cryptoutil.RandomKey(32)
+}
+
+// VerifyRAResponse checks the deferred quote: signature chain to the root,
+// user enclave measurement, and the chained report data recomputed from
+// the verifier's own expectations — which transitively proves the SM
+// enclave identity, the CL digest, the device DNA, and a successful CL
+// attestation (§4.4.2). It returns the user enclave's data-provisioning
+// public key carried in the quote.
+func (v *Verifier) VerifyRAResponse(nonce []byte, q sgx.Quote) ([]byte, error) {
+	if err := sgx.VerifyQuote(v.exp.Root, q); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrVerify, err)
+	}
+	if q.MRENCLAVE != v.exp.UserEnclave {
+		return nil, fmt.Errorf("%w: user enclave measurement %s, expected %s", ErrVerify, q.MRENCLAVE, v.exp.UserEnclave)
+	}
+	if q.Debug {
+		return nil, fmt.Errorf("%w: debug enclave", ErrVerify)
+	}
+	dataPub := q.ReportData[32:]
+	want := userapp.ChainBinding(nonce, v.exp.SMEnclave, smapp.CLResult{
+		Attested: true,
+		DNA:      string(v.exp.DNA),
+		Digest:   v.exp.Digest,
+	}, dataPub)
+	if q.ReportData != want {
+		return nil, fmt.Errorf("%w: chained report data mismatch (wrong SM enclave, CL, or device)", ErrVerify)
+	}
+	return append([]byte(nil), dataPub...), nil
+}
+
+// ProvisionDataKey seals the data owner's symmetric key to the verified
+// user enclave's public key. Returns the sender public key and ciphertext
+// to transfer (Figure 3 ⑧).
+func ProvisionDataKey(userPub []byte, dataKey []byte) (senderPub, sealed []byte, err error) {
+	pub, err := ecdh.X25519().NewPublicKey(userPub)
+	if err != nil {
+		return nil, nil, fmt.Errorf("client: bad enclave key: %w", err)
+	}
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, nil, err
+	}
+	shared, err := priv.ECDH(pub)
+	if err != nil {
+		return nil, nil, err
+	}
+	sealed, err = cryptoutil.Seal(cryptoutil.DeriveKey(shared, "salus/data-key", 32), dataKey, []byte("data-key"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return priv.PublicKey().Bytes(), sealed, nil
+}

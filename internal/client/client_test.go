@@ -1,0 +1,181 @@
+package client
+
+import (
+	"bytes"
+	"crypto/ecdh"
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"salus/internal/cryptoutil"
+	"salus/internal/sgx"
+	"salus/internal/smapp"
+	"salus/internal/userapp"
+)
+
+// quoteFor builds a well-formed cascaded quote for the given expectations,
+// returning the quote, nonce and the enclave-side ECDH private key.
+func quoteFor(t testing.TB, exp *Expectations) (sgx.Quote, []byte, *ecdh.PrivateKey) {
+	t.Helper()
+	pa, err := sgx.NewProvisioningAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := sgx.NewPlatform(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	userImg := sgx.EnclaveImage{Name: "user", Version: 1, Code: []byte("prog")}
+	smImg := sgx.EnclaveImage{Name: "sm", Version: 1, Code: []byte("sm")}
+	enclave := platform.Load(userImg)
+
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := []byte("nonce-1")
+	res := smapp.CLResult{Attested: true, DNA: "A58275817", Digest: [32]byte{7}}
+	q := enclave.Quote(userapp.ChainBinding(nonce, smImg.Measure(), res, priv.PublicKey().Bytes()))
+
+	*exp = Expectations{
+		Root:        pa.PublicKey(),
+		UserEnclave: userImg.Measure(),
+		SMEnclave:   smImg.Measure(),
+		Digest:      res.Digest,
+		DNA:         "A58275817",
+	}
+	return q, nonce, priv
+}
+
+func TestVerifyAcceptsWellFormedChain(t *testing.T) {
+	var exp Expectations
+	q, nonce, _ := quoteFor(t, &exp)
+	pub, err := New(exp).VerifyRAResponse(nonce, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pub, q.ReportData[32:]) {
+		t.Error("returned wrong data pub")
+	}
+}
+
+func TestVerifyRejectsDebugEnclave(t *testing.T) {
+	pa, err := sgx.NewProvisioningAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := sgx.NewPlatform(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := sgx.EnclaveImage{Name: "user", Version: 1, Debug: true, Code: []byte("prog")}
+	enclave := platform.Load(img)
+	res := smapp.CLResult{Attested: true, DNA: "D", Digest: [32]byte{}}
+	nonce := []byte("n")
+	smM := sgx.Measurement{}
+	priv, _ := ecdh.X25519().GenerateKey(rand.Reader)
+	q := enclave.Quote(userapp.ChainBinding(nonce, smM, res, priv.PublicKey().Bytes()))
+
+	exp := Expectations{
+		Root:        pa.PublicKey(),
+		UserEnclave: img.Measure(),
+		SMEnclave:   smM,
+		DNA:         "D",
+	}
+	if _, err := New(exp).VerifyRAResponse(nonce, q); !errors.Is(err, ErrVerify) {
+		t.Errorf("debug enclave accepted: %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongRoot(t *testing.T) {
+	var exp Expectations
+	q, nonce, _ := quoteFor(t, &exp)
+	other, err := sgx.NewProvisioningAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp.Root = other.PublicKey()
+	if _, err := New(exp).VerifyRAResponse(nonce, q); !errors.Is(err, ErrVerify) {
+		t.Errorf("wrong root accepted: %v", err)
+	}
+}
+
+func TestVerifyRejectsStaleNonce(t *testing.T) {
+	var exp Expectations
+	q, _, _ := quoteFor(t, &exp)
+	if _, err := New(exp).VerifyRAResponse([]byte("other-nonce"), q); !errors.Is(err, ErrVerify) {
+		t.Errorf("stale nonce accepted: %v", err)
+	}
+}
+
+func TestVerifyRejectsFailedAttestationClaim(t *testing.T) {
+	// A quote chaining attested=false can never satisfy a verifier that
+	// (by construction) only accepts attested=true.
+	pa, err := sgx.NewProvisioningAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := sgx.NewPlatform(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := sgx.EnclaveImage{Name: "user", Version: 1, Code: []byte("p")}
+	enclave := platform.Load(img)
+	nonce := []byte("n")
+	res := smapp.CLResult{Attested: false, DNA: "D"}
+	priv, _ := ecdh.X25519().GenerateKey(rand.Reader)
+	q := enclave.Quote(userapp.ChainBinding(nonce, sgx.Measurement{}, res, priv.PublicKey().Bytes()))
+	exp := Expectations{Root: pa.PublicKey(), UserEnclave: img.Measure(), DNA: "D"}
+	if _, err := New(exp).VerifyRAResponse(nonce, q); !errors.Is(err, ErrVerify) {
+		t.Errorf("unattested chain accepted: %v", err)
+	}
+}
+
+func TestNoncesAreFresh(t *testing.T) {
+	v := New(Expectations{})
+	a := v.NewNonce()
+	b := v.NewNonce()
+	if bytes.Equal(a, b) {
+		t.Error("nonces repeat")
+	}
+	if len(a) < 16 {
+		t.Errorf("nonce only %d bytes", len(a))
+	}
+}
+
+func TestProvisionDataKeyRoundTrip(t *testing.T) {
+	enclavePriv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataKey := cryptoutil.RandomKey(16)
+	senderPub, sealed, err := ProvisionDataKey(enclavePriv.PublicKey().Bytes(), dataKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(sealed, dataKey) {
+		t.Error("data key in plaintext on the wire")
+	}
+	// Enclave-side unsealing.
+	sp, err := ecdh.X25519().NewPublicKey(senderPub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := enclavePriv.ECDH(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cryptoutil.Open(cryptoutil.DeriveKey(shared, "salus/data-key", 32), sealed, []byte("data-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, dataKey) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestProvisionDataKeyBadPub(t *testing.T) {
+	if _, _, err := ProvisionDataKey([]byte("short"), cryptoutil.RandomKey(16)); err == nil {
+		t.Error("accepted malformed enclave key")
+	}
+}

@@ -1,0 +1,38 @@
+package compare
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTable1(t *testing.T) {
+	rows, err := RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(rows))
+	}
+	byWork := map[string]Table1Row{}
+	for _, r := range rows {
+		byWork[r.Work] = r
+	}
+	sgxFPGA := byWork["SGX-FPGA [40]"]
+	if !sgxFPGA.NoExtraHardware || sgxFPGA.IndependentDev {
+		t.Errorf("SGX-FPGA row: %+v (want no-extra-hw=yes, indep=NO)", sgxFPGA)
+	}
+	shefRow := byWork["ShEF [42]"]
+	if shefRow.NoExtraHardware || !shefRow.IndependentDev {
+		t.Errorf("ShEF row: %+v (want extra hw, indep=yes)", shefRow)
+	}
+	salusRow := byWork["Salus"]
+	if !salusRow.NoExtraHardware || !salusRow.IndependentDev || salusRow.TEEType != "HE" {
+		t.Errorf("Salus row: %+v", salusRow)
+	}
+	out := FormatTable1(rows)
+	for _, want := range []string{"Salus", "ShEF", "MeetGo", "Ambassy", "SGX-FPGA", "Evidence"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+}

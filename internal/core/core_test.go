@@ -1,0 +1,577 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"salus/internal/accel"
+	"salus/internal/bitstream"
+	"salus/internal/channel"
+	"salus/internal/client"
+	"salus/internal/cryptoutil"
+	"salus/internal/fpga"
+	"salus/internal/netlist"
+	"salus/internal/shell"
+	"salus/internal/smapp"
+	"salus/internal/smlogic"
+)
+
+func newTestSystem(t testing.TB, opts ...func(*SystemConfig)) *System {
+	t.Helper()
+	cfg := SystemConfig{Kernel: accel.Conv{}, Seed: 7}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDevelopCL(t *testing.T) {
+	pkg, err := DevelopCL(accel.Affine{}, netlist.TestDevice, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.KernelName != "Affine" || pkg.LogicID != "salus-cl/Affine" {
+		t.Errorf("package identity: %+v", pkg)
+	}
+	if pkg.Digest != cryptoutil.Digest(pkg.Encoded) {
+		t.Error("digest does not match encoded bitstream")
+	}
+	if pkg.Loc.Path != "salus_sm/secrets" || pkg.Loc.FrameCount == 0 {
+		t.Errorf("Loc = %+v", pkg.Loc)
+	}
+	// Different seeds move the RoT location — the property that frees the
+	// developer from pinning the SM logic.
+	pkg2, err := DevelopCL(accel.Affine{}, netlist.TestDevice, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg2.Digest == pkg.Digest {
+		t.Error("independent compiles produced identical bitstreams")
+	}
+}
+
+func TestSecureBootSucceeds(t *testing.T) {
+	s := newTestSystem(t)
+	rep, err := s.SecureBoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Result.Attested {
+		t.Error("CL not attested in report")
+	}
+	if rep.Result.DNA != string(s.Device.DNA()) {
+		t.Errorf("report DNA = %s", rep.Result.DNA)
+	}
+	if !s.Booted() || !s.SM.Attested() {
+		t.Error("system state not booted/attested")
+	}
+	if rep.Quote.MRENCLAVE != s.User.Measurement() {
+		t.Error("final quote is not the user enclave's")
+	}
+	if _, err := s.User.DataKey(); err != nil {
+		t.Errorf("data key not provisioned: %v", err)
+	}
+	if s.Device.Loads() != 1 {
+		t.Errorf("device loads = %d", s.Device.Loads())
+	}
+}
+
+func TestSecureBootOnlyOnce(t *testing.T) {
+	s := newTestSystem(t)
+	if _, err := s.SecureBoot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SecureBoot(); err == nil {
+		t.Error("second boot accepted")
+	}
+}
+
+func TestSecureBootKeepsSecretsOffTheBus(t *testing.T) {
+	// Nothing in the shell's transcript may contain the attestation key,
+	// session key, or data key material. We can't read those keys (they're
+	// enclave state), but we can check the strongest observable: the
+	// plaintext manipulated bitstream never appears, i.e. every loaded
+	// frame set is encrypted.
+	s := newTestSystem(t)
+	if _, err := s.SecureBoot(); err != nil {
+		t.Fatal(err)
+	}
+	for i, frame := range s.Shell.Transcript() {
+		if bytes.HasPrefix(frame, []byte("SLSBSTR1")) {
+			t.Errorf("frame %d: plaintext bitstream crossed the shell", i)
+		}
+	}
+}
+
+func TestRunJobAllKernels(t *testing.T) {
+	for _, k := range accel.Kernels() {
+		k := k
+		t.Run(k.Name(), func(t *testing.T) {
+			s := newTestSystem(t, func(c *SystemConfig) { c.Kernel = k })
+			if _, err := s.SecureBoot(); err != nil {
+				t.Fatal(err)
+			}
+			w, ok := accel.TestWorkload(k.Name(), 11)
+			if !ok {
+				t.Fatal("no workload")
+			}
+			got, err := s.RunJob(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := k.Compute(w.Params, w.Input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Error("offloaded result differs from reference")
+			}
+		})
+	}
+}
+
+func TestRunJobRequiresBoot(t *testing.T) {
+	s := newTestSystem(t)
+	w, _ := accel.TestWorkload("Conv", 1)
+	if _, err := s.RunJob(w); err == nil {
+		t.Error("ran job before boot")
+	}
+}
+
+func TestRunJobWrongKernel(t *testing.T) {
+	s := newTestSystem(t)
+	if _, err := s.SecureBoot(); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := accel.TestWorkload("Affine", 1)
+	if _, err := s.RunJob(w); err == nil {
+		t.Error("ran Affine workload on Conv CL")
+	}
+}
+
+func TestRunJobTwiceFreshIVs(t *testing.T) {
+	s := newTestSystem(t)
+	if _, err := s.SecureBoot(); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := accel.TestWorkload("Conv", 2)
+	a, err := s.RunJob(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.RunJob(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("same workload produced different results")
+	}
+}
+
+// --- Table 3: the attack matrix ---------------------------------------------
+
+func TestAttackSubstituteCL(t *testing.T) {
+	// Attack 1 (integrity during booting): the shell loads its own CL.
+	// The substituted CL lacks the freshly injected Key_attest, so step ⑦
+	// fails and the data owner never receives a valid report.
+	evilPkg, err := DevelopCL(accel.Conv{}, netlist.TestDevice, 666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestSystem(t, func(c *SystemConfig) {
+		c.Interceptor = shell.SubstituteCL{Evil: evilPkg.Encoded}
+	})
+	_, err = s.SecureBoot()
+	if !errors.Is(err, smapp.ErrCLAttestation) {
+		t.Errorf("err = %v, want ErrCLAttestation", err)
+	}
+	if _, derr := s.User.DataKey(); derr == nil {
+		t.Error("data key provisioned despite failed attestation")
+	}
+}
+
+func TestAttackTamperEncryptedBitstream(t *testing.T) {
+	// Blind modification of the encrypted bitstream: the FPGA's internal
+	// AES-GCM decryption rejects it at load (step ⑤⑥).
+	s := newTestSystem(t, func(c *SystemConfig) {
+		c.Interceptor = shell.TamperBits{Offset: 4096}
+	})
+	_, err := s.SecureBoot()
+	if err == nil || !strings.Contains(err.Error(), "deployment") {
+		t.Errorf("err = %v, want deployment failure", err)
+	}
+}
+
+func TestAttackServeWrongBitstream(t *testing.T) {
+	// A hostile CSP storage serves a different (validly formatted)
+	// bitstream: the SM enclave's digest check (⑤a) refuses to inject the
+	// RoT into it.
+	s := newTestSystem(t)
+	if err := s.User.LocalAttestSM(); err != nil {
+		t.Fatal(err)
+	}
+	md := smapp.Metadata{Digest: s.Package.Digest, Loc: s.Package.Loc}
+	if err := s.User.ForwardMetadata(md); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SM.FetchDeviceKey(); err != nil {
+		t.Fatal(err)
+	}
+	other, err := DevelopCL(accel.Conv{}, netlist.TestDevice, 31337)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SM.DeployCL(other.Encoded); !errors.Is(err, smapp.ErrDigest) {
+		t.Errorf("err = %v, want ErrDigest", err)
+	}
+}
+
+func TestAttackTamperAttestationBus(t *testing.T) {
+	// Attack 3 (bus integrity): flipping bits in PCIe transactions breaks
+	// the attestation MAC — step ⑦ fails.
+	s := newTestSystem(t, func(c *SystemConfig) {
+		c.Interceptor = shell.TamperResponses{}
+	})
+	_, err := s.SecureBoot()
+	if !errors.Is(err, smapp.ErrCLAttestation) {
+		t.Errorf("err = %v, want ErrCLAttestation", err)
+	}
+}
+
+func TestAttackForgeAttestation(t *testing.T) {
+	forger := &shell.ForgeAttestation{}
+	s := newTestSystem(t, func(c *SystemConfig) { c.Interceptor = forger })
+	_, err := s.SecureBoot()
+	if !errors.Is(err, smapp.ErrCLAttestation) {
+		t.Errorf("err = %v, want ErrCLAttestation", err)
+	}
+	if forger.Attempts == 0 {
+		t.Error("forger never engaged")
+	}
+}
+
+func TestAttackSpoofDNA(t *testing.T) {
+	s := newTestSystem(t, func(c *SystemConfig) {
+		c.Interceptor = shell.SpoofDNA{Claim: "B00000000"}
+	})
+	_, err := s.SecureBoot()
+	if !errors.Is(err, smapp.ErrCLAttestation) {
+		t.Errorf("err = %v, want ErrCLAttestation", err)
+	}
+}
+
+func TestAttackReplayRuntimeChannel(t *testing.T) {
+	// Attack 3 on runtime transactions: the boot survives (its single
+	// attestation exchange is not a secure-reg frame), but the replayed
+	// session frame during the job is rejected by the counter.
+	s := newTestSystem(t, func(c *SystemConfig) {
+		c.Interceptor = &shell.ReplayRequests{}
+	})
+	if _, err := s.SecureBoot(); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := accel.TestWorkload("Conv", 3)
+	if _, err := s.RunJob(w); err == nil {
+		t.Error("job succeeded despite replayed secure frames")
+	}
+}
+
+func TestClientRejectsWrongExpectations(t *testing.T) {
+	s := newTestSystem(t)
+	rep, err := s.SecureBoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := s.Expectations()
+
+	mutations := map[string]func(*client.Expectations){
+		"user enclave": func(e *client.Expectations) { e.UserEnclave[0] ^= 1 },
+		"sm enclave":   func(e *client.Expectations) { e.SMEnclave[0] ^= 1 },
+		"digest":       func(e *client.Expectations) { e.Digest[0] ^= 1 },
+		"dna":          func(e *client.Expectations) { e.DNA = "X" },
+	}
+	for name, mutate := range mutations {
+		exp := base
+		mutate(&exp)
+		v := client.New(exp)
+		if _, err := v.VerifyRAResponse(rep.Nonce, rep.Quote); !errors.Is(err, client.ErrVerify) {
+			t.Errorf("%s mutation: err = %v, want ErrVerify", name, err)
+		}
+	}
+	// Sanity: the untouched expectations do verify.
+	if _, err := client.New(base).VerifyRAResponse(rep.Nonce, rep.Quote); err != nil {
+		t.Errorf("baseline verification failed: %v", err)
+	}
+	// And a stale nonce (replayed quote) fails.
+	if _, err := client.New(base).VerifyRAResponse([]byte("old"), rep.Quote); !errors.Is(err, client.ErrVerify) {
+		t.Error("replayed quote accepted")
+	}
+}
+
+// --- Ablations ---------------------------------------------------------------
+
+func TestAblationMultiStageWindow(t *testing.T) {
+	ms := newTestSystem(t)
+	out, err := ms.MultiStageBoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Window() <= 0 {
+		t.Errorf("multi-stage window = %v, want > 0", out.Window())
+	}
+	// Cascaded attestation closes the window: the report only exists after
+	// the CL attested (BootReport is unreachable otherwise — enforced by
+	// GenerateRAResponse requiring the result).
+	cs := newTestSystem(t)
+	rep, err := cs.SecureBoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Result.Attested {
+		t.Error("cascaded report without attested CL")
+	}
+}
+
+func TestAblationReadbackEnabled(t *testing.T) {
+	// With the legacy ICAP (readback on), a malicious shell can scan the
+	// loaded CL, extract Key_attest, and forge valid attestation responses
+	// — the attack §5.1.2's requirement prevents.
+	s := newTestSystem(t, func(c *SystemConfig) {
+		c.DeviceOpts = []fpga.Option{fpga.WithReadbackEnabled()}
+	})
+	if _, err := s.SecureBoot(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := s.Shell.AttemptReadback(0)
+	if err != nil {
+		t.Fatalf("readback should succeed on a legacy device: %v", err)
+	}
+	im, err := bitstream.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, ok := im.Cell(smlogic.SecretsCellPath)
+	if !ok {
+		t.Fatal("no secrets cell in readback")
+	}
+	stolen, err := im.CellBytes(loc, smlogic.OffKeyAttest, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prove the stolen key is the live one: forge a fresh challenge and
+	// have the real CL accept it.
+	req := channel.AttestRequest{Nonce: 999, DNA: string(s.Device.DNA())}
+	req.MAC = channel.AttestMACReq(stolen, req.Nonce, req.DNA)
+	resp, err := s.Shell.Transact(req.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, derr := channel.DecodeAttestResponse(resp); derr != nil {
+		t.Errorf("stolen key failed to forge attestation — expected the legacy attack to work: %v", derr)
+	}
+	// On a compliant device the same theft is impossible.
+	s2 := newTestSystem(t)
+	if _, err := s2.SecureBoot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Shell.AttemptReadback(0); !errors.Is(err, fpga.ErrReadbackDisabled) {
+		t.Errorf("compliant device allowed readback: %v", err)
+	}
+}
+
+// --- Extensions ---------------------------------------------------------------
+
+func TestMultiRPBootAndIsolation(t *testing.T) {
+	sys, err := NewMultiRPSystem(netlist.TestDevice, "A58275817",
+		[]accel.Kernel{accel.Conv{}, accel.Affine{}}, FastTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.BootAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i, agent := range sys.Agents {
+		if !agent.Attested() {
+			t.Errorf("partition %d not attested", i)
+		}
+	}
+	if sys.Device.Loads() != 2 {
+		t.Errorf("loads = %d, want 2", sys.Device.Loads())
+	}
+	// Partitions run their own kernels.
+	cl0, err := sys.Device.CL(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl1, err := sys.Device.CL(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl0.LogicID() == cl1.LogicID() {
+		t.Error("partitions share logic identity")
+	}
+}
+
+func TestMultiRPRequiresMasterKey(t *testing.T) {
+	sys, err := NewMultiRPSystem(netlist.TestDevice, "D2",
+		[]accel.Kernel{accel.Conv{}}, FastTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Agents[0].AdoptDeviceKeyFrom(sys.Master); !errors.Is(err, smapp.ErrNoDeviceKey) {
+		t.Errorf("adopted key before master fetched it: %v", err)
+	}
+}
+
+func TestProtectedMemorySystem(t *testing.T) {
+	s := newTestSystem(t, func(c *SystemConfig) {
+		c.Kernel = accel.NNSearch{}
+		c.ProtectedMemory = true
+	})
+	if s.Package.LogicID != "salus-cl-bmt/NNSearch" {
+		t.Fatalf("logic id = %s", s.Package.LogicID)
+	}
+	if _, err := s.SecureBoot(); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := accel.TestWorkload("NNSearch", 17)
+	got, err := s.RunJob(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := w.Kernel.Compute(w.Params, w.Input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("protected CL output differs")
+	}
+}
+
+func TestConcurrentJobsSerialised(t *testing.T) {
+	s := newTestSystem(t)
+	if _, err := s.SecureBoot(); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int64][]byte{}
+	for seed := int64(0); seed < 4; seed++ {
+		w, _ := accel.TestWorkload("Conv", seed)
+		out, err := w.Kernel.Compute(w.Params, w.Input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[seed] = out
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			seed := int64(i % 4)
+			w, _ := accel.TestWorkload("Conv", seed)
+			got, err := s.RunJob(w)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !bytes.Equal(got, want[seed]) {
+				t.Errorf("goroutine %d: wrong result", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestLargeDMAJobChunked(t *testing.T) {
+	// A workload bigger than one DMA burst exercises the chunked write
+	// path end to end.
+	s := newTestSystem(t, func(c *SystemConfig) { c.Kernel = accel.Affine{} })
+	if _, err := s.SecureBoot(); err != nil {
+		t.Fatal(err)
+	}
+	w := accel.GenAffine(1536, 1024, 3) // 1.5 MiB image > 1 MiB burst
+	got, err := s.RunJob(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := w.Kernel.Compute(w.Params, w.Input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("chunked DMA job result differs")
+	}
+}
+
+func TestSystemRekeyBetweenJobs(t *testing.T) {
+	s := newTestSystem(t)
+	if _, err := s.SecureBoot(); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := accel.TestWorkload("Conv", 8)
+	if _, err := s.RunJob(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RekeySession(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunJob(w); err != nil {
+		t.Fatalf("job after rekey: %v", err)
+	}
+}
+
+func TestBootTranscriptShape(t *testing.T) {
+	// The protocol's bus footprint is part of its contract: the shell sees
+	// exactly one (encrypted) bitstream and one attestation exchange
+	// during boot — nothing else leaks onto PCIe.
+	s := newTestSystem(t)
+	if _, err := s.SecureBoot(); err != nil {
+		t.Fatal(err)
+	}
+	tr := s.Shell.Transcript()
+	if len(tr) != 3 {
+		t.Fatalf("boot transcript has %d frames, want 3", len(tr))
+	}
+	if !bitstream.IsEncrypted(tr[0]) {
+		t.Error("frame 0 is not the encrypted bitstream")
+	}
+	if channel.MsgType(tr[1]) != channel.MsgAttestReq {
+		t.Errorf("frame 1 type %#x, want attestation request", channel.MsgType(tr[1]))
+	}
+	if channel.MsgType(tr[2]) != channel.MsgAttestResp {
+		t.Errorf("frame 2 type %#x, want attestation response", channel.MsgType(tr[2]))
+	}
+
+	// One job adds: 4 secure reg pairs (key/IV), DMA write(s), direct reg
+	// writes/reads, and DMA read — every frame one of the known types.
+	w, _ := accel.TestWorkload("Conv", 1)
+	if _, err := s.RunJob(w); err != nil {
+		t.Fatal(err)
+	}
+	allowed := map[byte]bool{
+		channel.MsgSecureReg: true, channel.MsgSecureRegResp: true,
+		channel.MsgDirectReg: true, channel.MsgDirectResp: true,
+		channel.MsgMemWrite: true, channel.MsgMemRead: true, channel.MsgMemData: true,
+	}
+	for i, f := range s.Shell.Transcript()[3:] {
+		if !allowed[channel.MsgType(f)] {
+			t.Errorf("job frame %d has unexpected type %#x", i, channel.MsgType(f))
+		}
+	}
+	secureFrames := 0
+	for _, f := range s.Shell.Transcript() {
+		if channel.MsgType(f) == channel.MsgSecureReg {
+			secureFrames++
+		}
+	}
+	if secureFrames != 4 {
+		t.Errorf("%d secure register frames, want exactly 4 (key/IV exchange)", secureFrames)
+	}
+}

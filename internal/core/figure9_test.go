@@ -1,0 +1,80 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"salus/internal/trace"
+)
+
+// TestFigure9Shape runs the full U200-scale booting-time experiment and
+// checks the paper's shape claims: bitstream manipulation dominates
+// (73.2% in the paper), the two remote attestations are seconds-scale,
+// verification+encryption is sub-second, and local/CL attestation are
+// negligible. Absolute totals depend on this machine; EXPERIMENTS.md
+// records the calibration.
+func TestFigure9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("U200-scale boot is seconds-long; skipped in -short")
+	}
+	r, err := RunFigure9("Conv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Report.Result.Attested {
+		t.Fatal("boot did not attest")
+	}
+
+	total := r.Total
+	manip := r.Trace.PhaseTotal(trace.PhaseBitManipulation)
+	verifEnc := r.Trace.PhaseTotal(trace.PhaseBitVerifyEnc)
+	userRA := r.Trace.PhaseTotal(trace.PhaseUserQuoteGen) + r.Trace.PhaseTotal(trace.PhaseUserQuoteVerify)
+	keyDist := r.Trace.PhaseTotal(trace.PhaseSMQuoteGen) + r.Trace.PhaseTotal(trace.PhaseSMQuoteVerify) +
+		r.Trace.PhaseTotal(trace.PhaseKeyDistribution)
+	la := r.Trace.PhaseTotal(trace.PhaseLocalAttest)
+	clAuth := r.Trace.PhaseTotal(trace.PhaseCLAuth)
+
+	if total < 5*time.Second || total > 90*time.Second {
+		t.Errorf("total boot = %v, expected the paper's order of magnitude (18.8 s)", total)
+	}
+	if share := float64(manip) / float64(total); share < 0.5 || share > 0.9 {
+		t.Errorf("manipulation share = %.1f%%, paper reports 73.2%%", share*100)
+	}
+	if manip < verifEnc || manip < userRA || manip < keyDist {
+		t.Error("manipulation does not dominate the boot — wrong shape")
+	}
+	if verifEnc < 200*time.Millisecond || verifEnc > 3*time.Second {
+		t.Errorf("verify+encrypt = %v, paper reports 725 ms", verifEnc)
+	}
+	if userRA < 2*time.Second || userRA > 3200*time.Millisecond {
+		t.Errorf("user RA = %v, paper reports 2568 ms", userRA)
+	}
+	if keyDist < 1500*time.Millisecond || keyDist > 2200*time.Millisecond {
+		t.Errorf("key distribution = %v, paper reports 1709 ms", keyDist)
+	}
+	// The user RA costs more than the manufacturer's because the client
+	// verifies over a WAN (§6.3).
+	if userRA <= keyDist {
+		t.Error("user RA not slower than intra-cloud key distribution — wrong shape")
+	}
+	if la > 20*time.Millisecond {
+		t.Errorf("local attestation = %v, paper reports 836 µs", la)
+	}
+	if clAuth > 20*time.Millisecond {
+		t.Errorf("CL authentication = %v, paper reports 1.3 ms", clAuth)
+	}
+
+	out := FormatFigure9(r)
+	for _, want := range []string{"Bitstream Manipulation", "Paper", "18.8 s", "TOTAL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 9 output missing %q", want)
+		}
+	}
+}
+
+func TestRunFigure9UnknownKernel(t *testing.T) {
+	if _, err := RunFigure9("Nope"); err == nil {
+		t.Error("accepted unknown kernel")
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"salus/internal/accel"
+	"salus/internal/fpga"
+	"salus/internal/manufacturer"
+	"salus/internal/netlist"
+	"salus/internal/sgx"
+	"salus/internal/shell"
+	"salus/internal/simtime"
+	"salus/internal/smapp"
+	"salus/internal/trace"
+)
+
+// MultiRPSystem implements the §4.7 extension: a device exposing several
+// reconfigurable partitions, each integrating its own SM logic so it can be
+// programmed and attested separately. On the host side a master SM enclave
+// fetches the device key once; light-weight slave SM agents (one per
+// partition) adopt it and run per-partition deployment and attestation.
+type MultiRPSystem struct {
+	Manufacturer *manufacturer.Service
+	Device       *fpga.Device
+	Shell        *shell.Shell
+	Master       *smapp.SMApp
+	Agents       []*smapp.SMApp
+	Packages     []*CLPackage
+
+	Clock *simtime.Clock
+	Trace *trace.Log
+}
+
+// NewMultiRPSystem builds a deployment with one partition (and one kernel)
+// per entry of kernels.
+func NewMultiRPSystem(profile netlist.DeviceProfile, dna fpga.DNA, kernels []accel.Kernel, timing Timing) (*MultiRPSystem, error) {
+	if len(kernels) == 0 {
+		return nil, fmt.Errorf("core: no kernels for multi-RP system")
+	}
+	mfr, err := manufacturer.New()
+	if err != nil {
+		return nil, err
+	}
+	dev, err := mfr.ManufactureDevice(profile, dna, fpga.WithPartitions(len(kernels)))
+	if err != nil {
+		return nil, err
+	}
+	host, err := sgx.NewPlatform(mfr.Authority())
+	if err != nil {
+		return nil, err
+	}
+	clock := simtime.NewClock()
+	tr := trace.New()
+	sh := shell.New(dev, shell.WithTiming(clock, timing.PCIe))
+
+	newSM := func(partition int) (*smapp.SMApp, error) {
+		return smapp.New(smapp.Config{
+			Platform:         host,
+			Manufacturer:     mfr,
+			Shell:            sh,
+			Partition:        partition,
+			Clock:            clock,
+			Trace:            tr,
+			ManufacturerLink: timing.IntraCloud,
+			EnclaveSlowdown:  timing.EnclaveSlowdown,
+			ToolSlowdown:     timing.ToolSlowdown,
+			QuoteGen:         timing.SMQuoteGen,
+			QuoteVerify:      timing.SMQuoteVerify,
+		})
+	}
+
+	sys := &MultiRPSystem{Manufacturer: mfr, Device: dev, Shell: sh, Clock: clock, Trace: tr}
+	sys.Master, err = newSM(0)
+	if err != nil {
+		return nil, err
+	}
+	mfr.TrustSMEnclave(sys.Master.Measurement())
+
+	for i, k := range kernels {
+		pkg, err := DevelopCL(k, profile, int64(1000+i))
+		if err != nil {
+			return nil, err
+		}
+		sys.Packages = append(sys.Packages, pkg)
+		agent, err := newSM(i)
+		if err != nil {
+			return nil, err
+		}
+		sys.Agents = append(sys.Agents, agent)
+	}
+	return sys, nil
+}
+
+// BootAll fetches the device key once through the master, then deploys and
+// attests every partition through its slave agent. Each partition receives
+// an independent, freshly generated RoT.
+func (m *MultiRPSystem) BootAll() error {
+	if err := m.Master.FetchDeviceKey(); err != nil {
+		return fmt.Errorf("core: master key fetch: %w", err)
+	}
+	for i, agent := range m.Agents {
+		if err := agent.AdoptDeviceKeyFrom(m.Master); err != nil {
+			return err
+		}
+		// The master hands each agent its partition's H and Loc over a
+		// locally attested channel — the same audited metadata path the
+		// user enclave uses in the single-RP flow.
+		laKey, err := m.Master.LocalAttestInitiator(agent)
+		if err != nil {
+			return fmt.Errorf("core: partition %d agent attestation: %w", i, err)
+		}
+		md := smapp.Metadata{Digest: m.Packages[i].Digest, Loc: m.Packages[i].Loc}
+		sealed, err := smapp.SealMetadata(laKey, md)
+		if err != nil {
+			return err
+		}
+		if err := agent.ReceiveMetadata(sealed); err != nil {
+			return err
+		}
+		if err := agent.DeployCL(m.Packages[i].Encoded); err != nil {
+			return fmt.Errorf("core: partition %d deployment: %w", i, err)
+		}
+		if err := agent.AttestCL(); err != nil {
+			return fmt.Errorf("core: partition %d attestation: %w", i, err)
+		}
+	}
+	return nil
+}

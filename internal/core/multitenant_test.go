@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"salus/internal/accel"
+	"salus/internal/fpga"
+	"salus/internal/manufacturer"
+	"salus/internal/netlist"
+)
+
+// The §2.3 motivation made executable: traditional bitstream encryption
+// fuses ONE key exclusively, impeding resource multiplexing; Salus injects
+// a fresh RoT per deployment, so the CSP can recycle a device across
+// tenants, and each tenant's session dies with their CL.
+func TestDeviceRecyclingAcrossTenants(t *testing.T) {
+	mfr, err := manufacturer.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := mfr.ManufactureDevice(netlist.TestDevice, "SHARED-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tenant A rents the device, boots, and runs a job.
+	tenantA, err := NewSystem(SystemConfig{
+		Kernel:       accel.Conv{},
+		Seed:         1,
+		Manufacturer: mfr,
+		Device:       dev,
+		UserProgram:  []byte("tenant A program"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tenantA.SecureBoot(); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := accel.TestWorkload("Conv", 5)
+	if _, err := tenantA.RunJob(w); err != nil {
+		t.Fatal(err)
+	}
+
+	// The instance is recycled: tenant B rents the same physical device
+	// with a different kernel and their own enclave program. The same
+	// eFUSE key serves both — no re-fusing, no key transfer between
+	// tenants, exactly what §2.3 says the legacy flow cannot do.
+	tenantB, err := NewSystem(SystemConfig{
+		Kernel:       accel.Affine{},
+		Seed:         2,
+		Manufacturer: mfr,
+		Device:       dev,
+		UserProgram:  []byte("tenant B program"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tenantB.SecureBoot(); err != nil {
+		t.Fatal(err)
+	}
+	wB, _ := accel.TestWorkload("Affine", 6)
+	if _, err := tenantB.RunJob(wB); err != nil {
+		t.Fatal(err)
+	}
+
+	// Isolation: tenant B's partial reconfiguration overwrote tenant A's
+	// CL entirely (Observation 2) — A's session keys are gone, so A's
+	// channel to "their" accelerator is dead, not silently redirected.
+	if _, err := tenantA.RunJob(w); err == nil {
+		t.Error("tenant A's session survived tenant B's deployment")
+	}
+	if err := tenantA.SM.AttestCL(); err == nil {
+		t.Error("tenant A re-attested tenant B's CL")
+	}
+	if dev.Loads() != 2 {
+		t.Errorf("device loads = %d, want 2", dev.Loads())
+	}
+}
+
+func TestDeviceReuseValidation(t *testing.T) {
+	mfr, err := manufacturer.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := mfr.ManufactureDevice(netlist.TestDevice, "V1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSystem(SystemConfig{Kernel: accel.Conv{}, Device: dev}); err == nil {
+		t.Error("reused device without its manufacturer")
+	}
+	odd := netlist.TestDevice
+	odd.Name = "other"
+	if _, err := NewSystem(SystemConfig{Kernel: accel.Conv{}, Device: dev, Manufacturer: mfr, Profile: odd}); err == nil {
+		t.Error("accepted profile mismatch")
+	}
+}
+
+// Salus is not device-bound (§4): the same kernel retargets any device
+// profile at implementation time, and the whole boot flow carries over —
+// here a small U250-shaped profile next to the default test profile.
+func TestDevicePortabilityAcrossProfiles(t *testing.T) {
+	small250 := netlist.U250
+	small250.FramesPerSLR = 2048
+	small250.FrameWords = 17
+	for _, profile := range []netlist.DeviceProfile{netlist.TestDevice, small250} {
+		sys, err := NewSystem(SystemConfig{
+			Kernel:  accel.Rendering{},
+			Profile: profile,
+			DNA:     fpga.DNA("PORT-" + profile.Name),
+			Seed:    4,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", profile.Name, err)
+		}
+		if _, err := sys.SecureBoot(); err != nil {
+			t.Fatalf("%s: %v", profile.Name, err)
+		}
+		w, _ := accel.TestWorkload("Rendering", 4)
+		if _, err := sys.RunJob(w); err != nil {
+			t.Fatalf("%s: %v", profile.Name, err)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"salus/internal/accel"
+	"salus/internal/fpga"
+)
+
+// fpgaDNA keeps the helper below terse.
+type fpgaDNA = fpga.DNA
+
+// Stage is one step of a multi-accelerator pipeline: a kernel with its
+// parameter registers. The stage's input is the previous stage's output
+// (the first stage consumes the pipeline input).
+type Stage struct {
+	Kernel accel.Kernel
+	Params [4]uint64
+}
+
+// Pipeline chains attested FPGA TEE instances: the examples'
+// render-then-warp and detect-then-embed patterns as a first-class API.
+// Every hop re-encrypts under the owning system's data key, so
+// intermediate results are never plaintext outside an enclave or CL.
+type Pipeline struct {
+	stages  []Stage
+	systems []*System
+}
+
+// NewPipeline assembles and boots one deployment per stage. Each stage gets
+// its own device, CL, and independently injected RoT.
+func NewPipeline(timing Timing, stages ...Stage) (*Pipeline, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("core: empty pipeline")
+	}
+	p := &Pipeline{stages: stages}
+	for i, st := range stages {
+		sys, err := NewSystem(SystemConfig{
+			Kernel: st.Kernel,
+			Seed:   int64(100 + i),
+			DNA:    dnaFor(i),
+			Timing: timing,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: pipeline stage %d: %w", i, err)
+		}
+		if _, err := sys.SecureBoot(); err != nil {
+			return nil, fmt.Errorf("core: pipeline stage %d boot: %w", i, err)
+		}
+		p.systems = append(p.systems, sys)
+	}
+	return p, nil
+}
+
+func dnaFor(i int) (d fpgaDNA) {
+	return fpgaDNA(fmt.Sprintf("PIPE-%02d", i))
+}
+
+// Run pushes input through every stage in order and returns the final
+// plaintext output.
+func (p *Pipeline) Run(input []byte) ([]byte, error) {
+	data := input
+	for i, st := range p.stages {
+		out, err := p.systems[i].RunJob(accel.Workload{
+			Kernel: st.Kernel,
+			Params: st.Params,
+			Input:  data,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: pipeline stage %d (%s): %w", i, st.Kernel.Name(), err)
+		}
+		data = out
+	}
+	return data, nil
+}
+
+// Systems exposes the per-stage deployments (e.g. for transcript checks).
+func (p *Pipeline) Systems() []*System { return p.systems }

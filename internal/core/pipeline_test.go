@@ -1,0 +1,63 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"salus/internal/accel"
+)
+
+func TestPipelineRenderThenAffine(t *testing.T) {
+	m := accel.AffineMatrix{A11: 60000, A12: 4000, A21: -4000, A22: 60000, TX: 8 << 16, TY: 8 << 16}
+	p, err := NewPipeline(FastTiming(),
+		Stage{Kernel: accel.Rendering{}, Params: [4]uint64{64}},
+		Stage{Kernel: accel.Affine{}, Params: m.Params(accel.FrameDim, accel.FrameDim)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := accel.GenRendering(64, 21)
+	got, err := p.Run(model.Input)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	frame, err := (accel.Rendering{}).Compute([4]uint64{64}, model.Input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := accel.AffineRef(frame, accel.FrameDim, accel.FrameDim, m)
+	if !bytes.Equal(got, want) {
+		t.Error("pipeline output differs from composed reference")
+	}
+
+	// Both stages independently attested, with distinct devices and RoTs.
+	if len(p.Systems()) != 2 {
+		t.Fatalf("systems = %d", len(p.Systems()))
+	}
+	if p.Systems()[0].Device.DNA() == p.Systems()[1].Device.DNA() {
+		t.Error("stages share a device identity")
+	}
+	for i, sys := range p.Systems() {
+		if !sys.Booted() {
+			t.Errorf("stage %d not booted", i)
+		}
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	if _, err := NewPipeline(FastTiming()); err == nil {
+		t.Error("accepted empty pipeline")
+	}
+}
+
+func TestPipelineStageFailureSurfaces(t *testing.T) {
+	p, err := NewPipeline(FastTiming(), Stage{Kernel: accel.Conv{}, Params: [4]uint64{8, 8, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong-size input: the accelerator flags an error status.
+	if _, err := p.Run([]byte("too short")); err == nil {
+		t.Error("stage failure not surfaced")
+	}
+}

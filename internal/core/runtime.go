@@ -1,0 +1,190 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"salus/internal/accel"
+	"salus/internal/channel"
+	"salus/internal/cryptoutil"
+)
+
+// RunJob executes one workload on the attested FPGA TEE using the §4.5
+// interface pattern the paper prescribes: the symmetric data key is
+// exchanged over the secure register channel (through the SM enclave and
+// SM logic), while the bulk ciphertext flows over the direct, unprotected
+// memory channel — the accelerator's inline AES-CTR engine decrypts at the
+// memory interface. The returned bytes are the plaintext result.
+func (s *System) RunJob(w accel.Workload) ([]byte, error) {
+	// One job at a time: the accelerator's register file and DMA windows
+	// are a single shared resource, exactly as on the physical board.
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	if !s.booted {
+		return nil, fmt.Errorf("core: system not booted; run SecureBoot first")
+	}
+	if w.Kernel.Name() != s.Package.KernelName {
+		return nil, fmt.Errorf("core: workload targets %s, deployed CL is %s", w.Kernel.Name(), s.Package.KernelName)
+	}
+	dataKey, err := s.User.DataKey()
+	if err != nil {
+		return nil, err
+	}
+	iv := cryptoutil.RandomKey(16)
+
+	// Key exchange over the protected path (Key/IV registers only accept
+	// secure-channel writes).
+	secureWrites := []struct {
+		addr uint32
+		val  uint64
+	}{
+		{accel.RegKey1, binary.BigEndian.Uint64(dataKey[0:8])},
+		{accel.RegKey0, binary.BigEndian.Uint64(dataKey[8:16])},
+		{accel.RegIV1, binary.BigEndian.Uint64(iv[0:8])},
+		{accel.RegIV0, binary.BigEndian.Uint64(iv[8:16])},
+	}
+	for _, wr := range secureWrites {
+		res, err := s.User.SecureReg(channel.RegTxn{Write: true, Addr: wr.addr, Data: wr.val})
+		if err != nil {
+			return nil, fmt.Errorf("core: secure key exchange: %w", err)
+		}
+		if !res.OK {
+			return nil, fmt.Errorf("core: secure write to %#x rejected", wr.addr)
+		}
+	}
+
+	// Encrypt the payload inside the user enclave, then DMA it over the
+	// direct channel.
+	encIn, err := cryptoutil.XORKeyStreamCTR(dataKey, iv, w.Input)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.dmaWrite(0, encIn); err != nil {
+		return nil, err
+	}
+
+	outAddr := uint64(len(encIn) + 4096)
+	directRegs := []struct {
+		addr uint32
+		val  uint64
+	}{
+		{accel.RegInAddr, 0},
+		{accel.RegInLen, uint64(len(encIn))},
+		{accel.RegOutAddr, outAddr},
+		{accel.RegParam0, w.Params[0]},
+		{accel.RegParam1, w.Params[1]},
+		{accel.RegParam2, w.Params[2]},
+		{accel.RegParam3, w.Params[3]},
+		{accel.RegCtrl, accel.CtrlStart},
+	}
+	for _, wr := range directRegs {
+		res, err := s.directReg(channel.RegTxn{Write: true, Addr: wr.addr, Data: wr.val})
+		if err != nil {
+			return nil, err
+		}
+		if !res.OK {
+			return nil, fmt.Errorf("core: direct write to %#x rejected", wr.addr)
+		}
+	}
+
+	status, err := s.directReg(channel.RegTxn{Addr: accel.RegStatus})
+	if err != nil {
+		return nil, err
+	}
+	if status.Data != accel.StatusDone {
+		return nil, fmt.Errorf("core: accelerator finished with status %d", status.Data)
+	}
+	outLen, err := s.directReg(channel.RegTxn{Addr: accel.RegOutLen})
+	if err != nil {
+		return nil, err
+	}
+
+	resp, err := s.User.Direct(channel.EncodeMemRead(channel.MemRead{Addr: outAddr, N: uint32(outLen.Data)}))
+	if err != nil {
+		return nil, err
+	}
+	if msg, isErr := channel.DecodeError(resp); isErr {
+		return nil, fmt.Errorf("core: DMA read: %s", msg)
+	}
+	out, err := channel.DecodeMemData(resp)
+	if err != nil {
+		return nil, err
+	}
+	if w.Kernel.EncryptOutput() {
+		out, err = accel.DecryptOutput(dataKey, iv, out)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RunJobSealed is the remote-data-owner job path: the input arrives sealed
+// under the provisioned data key (AES-GCM, "job" domain), is opened inside
+// the user enclave, offloaded, and the result returns sealed the same way.
+// The plaintext never exists outside enclave or CL.
+func (s *System) RunJobSealed(kernelName string, params [4]uint64, sealedInput []byte) ([]byte, error) {
+	if !s.booted {
+		return nil, fmt.Errorf("core: system not booted")
+	}
+	k, ok := accel.KernelByName(kernelName)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown kernel %q", kernelName)
+	}
+	dataKey, err := s.User.DataKey()
+	if err != nil {
+		return nil, err
+	}
+	input, err := cryptoutil.Open(dataKey, sealedInput, []byte("job-input"))
+	if err != nil {
+		return nil, fmt.Errorf("core: sealed job input rejected: %w", err)
+	}
+	out, err := s.RunJob(accel.Workload{Kernel: k, Params: params, Input: input})
+	if err != nil {
+		return nil, err
+	}
+	return cryptoutil.Seal(dataKey, out, []byte("job-output"))
+}
+
+// dmaBurst is the DMA chunk size: large transfers are split into bursts,
+// as a real PCIe DMA engine does.
+const dmaBurst = 1 << 20
+
+// dmaWrite streams data to device memory in bursts over the direct channel.
+func (s *System) dmaWrite(addr uint64, data []byte) error {
+	for off := 0; off < len(data); off += dmaBurst {
+		end := off + dmaBurst
+		if end > len(data) {
+			end = len(data)
+		}
+		resp, err := s.User.Direct(channel.EncodeMemWrite(channel.MemWrite{
+			Addr: addr + uint64(off), Data: data[off:end],
+		}))
+		if err != nil {
+			return err
+		}
+		if msg, isErr := channel.DecodeError(resp); isErr {
+			return fmt.Errorf("core: DMA write: %s", msg)
+		}
+	}
+	return nil
+}
+
+func (s *System) directReg(txn channel.RegTxn) (channel.RegResult, error) {
+	resp, err := s.User.Direct(channel.EncodeDirectReg(txn))
+	if err != nil {
+		return channel.RegResult{}, err
+	}
+	if msg, isErr := channel.DecodeError(resp); isErr {
+		return channel.RegResult{}, fmt.Errorf("core: direct register: %s", msg)
+	}
+	return channel.DecodeDirectResp(resp)
+}
+
+// RekeySession rotates the register channel's session secrets (see
+// smapp.RekeySession), serialised against in-flight jobs.
+func (s *System) RekeySession() error {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	return s.SM.RekeySession()
+}

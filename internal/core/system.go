@@ -1,0 +1,338 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"salus/internal/accel"
+	"salus/internal/client"
+	"salus/internal/cryptoutil"
+	"salus/internal/fpga"
+	"salus/internal/manufacturer"
+	"salus/internal/netlist"
+	"salus/internal/sgx"
+	"salus/internal/shell"
+	"salus/internal/simtime"
+	"salus/internal/smapp"
+	"salus/internal/trace"
+	"salus/internal/userapp"
+)
+
+// SystemConfig describes one cloud FPGA instance deployment.
+type SystemConfig struct {
+	Profile netlist.DeviceProfile
+	DNA     fpga.DNA
+	Kernel  accel.Kernel
+	Seed    int64 // developer's place-and-route seed
+	Timing  Timing
+
+	// UserProgram is the data owner's enclave program (measured into the
+	// user enclave identity).
+	UserProgram []byte
+
+	// Interceptor installs a compromised shell (attack experiments).
+	Interceptor shell.Interceptor
+	// DeviceOpts tweak manufacturing (e.g. legacy readback-enabled ICAP).
+	DeviceOpts []fpga.Option
+
+	// ProtectedMemory selects the CL variant with the memory integrity
+	// tree at its DRAM interface (§3.1 attack-2 defence).
+	ProtectedMemory bool
+
+	// KeyService overrides how the SM enclave reaches the manufacturer's
+	// key distribution (e.g. an RPC client from internal/remote). Nil means
+	// the in-process service.
+	KeyService smapp.KeyService
+	// Manufacturer supplies an existing manufacturer service (e.g. one
+	// already serving RPC) instead of creating a fresh one.
+	Manufacturer *manufacturer.Service
+	// Device reuses an already-manufactured FPGA (instance recycling /
+	// multi-tenant multiplexing). Requires Manufacturer — the service that
+	// holds this device's key.
+	Device *fpga.Device
+}
+
+// System is an assembled deployment: every party of the threat model plus
+// the shared virtual clock and boot trace.
+type System struct {
+	Manufacturer *manufacturer.Service
+	HostPlatform *sgx.Platform
+	Device       *fpga.Device
+	Shell        *shell.Shell
+	SM           *smapp.SMApp
+	User         *userapp.UserApp
+	Package      *CLPackage
+
+	Clock  *simtime.Clock
+	Trace  *trace.Log
+	Timing Timing
+
+	jobMu   sync.Mutex
+	dataKey []byte // the data owner's copy; the enclave holds its own
+	booted  bool
+}
+
+// NewSystem manufactures the device, provisions the TEE host, develops the
+// CL, and deploys both enclave applications (Figure 3 ①). No protocol has
+// run yet; call SecureBoot.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if cfg.Kernel == nil {
+		return nil, fmt.Errorf("core: no kernel configured")
+	}
+	if cfg.DNA == "" {
+		cfg.DNA = "A58275817"
+	}
+	if cfg.Profile.Name == "" {
+		cfg.Profile = netlist.TestDevice
+	}
+	if cfg.Timing == (Timing{}) {
+		cfg.Timing = FastTiming()
+	}
+	if cfg.UserProgram == nil {
+		cfg.UserProgram = []byte("data owner program v1")
+	}
+
+	mfr := cfg.Manufacturer
+	if mfr == nil {
+		var err error
+		mfr, err = manufacturer.New()
+		if err != nil {
+			return nil, err
+		}
+	}
+	dev := cfg.Device
+	if dev == nil {
+		var err error
+		dev, err = mfr.ManufactureDevice(cfg.Profile, cfg.DNA, cfg.DeviceOpts...)
+		if err != nil {
+			return nil, err
+		}
+	} else if cfg.Manufacturer == nil {
+		return nil, fmt.Errorf("core: reusing a device requires its manufacturer")
+	} else if dev.Profile().Name != cfg.Profile.Name {
+		return nil, fmt.Errorf("core: device profile %s does not match config %s", dev.Profile().Name, cfg.Profile.Name)
+	}
+	host, err := sgx.NewPlatform(mfr.Authority())
+	if err != nil {
+		return nil, err
+	}
+	develop := DevelopCL
+	if cfg.ProtectedMemory {
+		develop = DevelopProtectedCL
+	}
+	pkg, err := develop(cfg.Kernel, cfg.Profile, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	clock := simtime.NewClock()
+	tr := trace.New()
+	shOpts := []shell.Option{shell.WithTiming(clock, cfg.Timing.PCIe)}
+	if cfg.Interceptor != nil {
+		shOpts = append(shOpts, shell.WithInterceptor(cfg.Interceptor))
+	}
+	sh := shell.New(dev, shOpts...)
+
+	var keySvc smapp.KeyService = mfr
+	if cfg.KeyService != nil {
+		keySvc = cfg.KeyService
+	}
+	sm, err := smapp.New(smapp.Config{
+		Platform:         host,
+		Manufacturer:     keySvc,
+		Shell:            sh,
+		Clock:            clock,
+		Trace:            tr,
+		ManufacturerLink: cfg.Timing.IntraCloud,
+		EnclaveSlowdown:  cfg.Timing.EnclaveSlowdown,
+		ToolSlowdown:     cfg.Timing.ToolSlowdown,
+		QuoteGen:         cfg.Timing.SMQuoteGen,
+		QuoteVerify:      cfg.Timing.SMQuoteVerify,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mfr.TrustSMEnclave(sm.Measurement())
+
+	user, err := userapp.New(userapp.Config{
+		Platform:    host,
+		UserProgram: cfg.UserProgram,
+		SM:          sm,
+		Shell:       sh,
+		Clock:       clock,
+		Trace:       tr,
+		Slowdown:    cfg.Timing.EnclaveSlowdown,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	return &System{
+		Manufacturer: mfr,
+		HostPlatform: host,
+		Device:       dev,
+		Shell:        sh,
+		SM:           sm,
+		User:         user,
+		Package:      pkg,
+		Clock:        clock,
+		Trace:        tr,
+		Timing:       cfg.Timing,
+	}, nil
+}
+
+// Expectations returns the data owner's pinned identities for this
+// deployment — everything the client needs to verify the cascaded
+// attestation from its trusted environment.
+func (s *System) Expectations() client.Expectations {
+	return client.Expectations{
+		Root:        s.Manufacturer.Root(),
+		UserEnclave: s.User.Measurement(),
+		SMEnclave:   s.SM.Measurement(),
+		Digest:      s.Package.Digest,
+		DNA:         s.Device.DNA(),
+	}
+}
+
+// BootReport is the outcome of a secure boot.
+type BootReport struct {
+	Quote   sgx.Quote      // the deferred RA response
+	Nonce   []byte         // the client's RA challenge
+	Result  smapp.CLResult // what the SM enclave reported
+	Total   time.Duration  // virtual boot time (Figure 9 total)
+	DataPub []byte         // enclave key the data key was sealed to
+}
+
+// SecureBoot runs the full flow of Figure 3 (②–⑧) plus the data-key
+// provisioning a successful attestation unlocks:
+//
+//	② the data owner remote-attests the platform (deferred — the quote
+//	   arrives at the end), sending the bitstream metadata;
+//	③ the user enclave locally attests the SM enclave and forwards H/Loc;
+//	④ the SM enclave fetches Key_device from the manufacturer;
+//	⑤⑥ the SM enclave verifies, manipulates, encrypts, and deploys the CL;
+//	⑦ the SM enclave attests the CL over the shell;
+//	⑧ the user enclave emits the chained quote; the client verifies it and
+//	   provisions the data key.
+//
+// An attack anywhere in the chain surfaces as an error from the step whose
+// guarantees it violates, and no data key is ever provisioned.
+func (s *System) SecureBoot() (*BootReport, error) {
+	if s.booted {
+		return nil, fmt.Errorf("core: system already booted")
+	}
+	span := s.Clock.StartSpan()
+	ver := client.New(s.Expectations())
+	nonce := ver.NewNonce()
+
+	quote, err := s.BootAndQuote(nonce)
+	if err != nil {
+		return nil, err
+	}
+
+	// Client-side verification of the deferred quote.
+	s.chargeWAN(func() { s.Timing.WAN.RoundTrip(s.Clock, 2048, 256) })
+	s.Clock.Advance(s.Timing.UserQuoteVerify)
+	s.Trace.Record(trace.PhaseUserQuoteVerify, s.Timing.UserQuoteVerify)
+	dataPub, err := ver.VerifyRAResponse(nonce, quote)
+	if err != nil {
+		return nil, fmt.Errorf("core: step ⑧ (client verification): %w", err)
+	}
+
+	// The platform is attested end to end: provision the data key.
+	s.dataKey = cryptoutil.RandomKey(16)
+	senderPub, sealed, err := client.ProvisionDataKey(dataPub, s.dataKey)
+	if err != nil {
+		return nil, err
+	}
+	s.chargeWAN(func() { s.Timing.WAN.Send(s.Clock, len(sealed)) })
+	if err := s.FinishProvision(senderPub, sealed); err != nil {
+		return nil, err
+	}
+
+	res, err := s.User.CLResult()
+	if err != nil {
+		return nil, err
+	}
+	return &BootReport{
+		Quote:   quote,
+		Nonce:   nonce,
+		Result:  res,
+		Total:   span.Elapsed(),
+		DataPub: dataPub,
+	}, nil
+}
+
+// BootAndQuote is the instance side of the boot: it runs Figure 3 ②–⑧ up
+// to and including the deferred quote bound to the data owner's nonce, but
+// performs no client-side verification — a *remote* data owner does that
+// themselves (see internal/remote) and then calls FinishProvision.
+func (s *System) BootAndQuote(nonce []byte) (sgx.Quote, error) {
+	if s.booted {
+		return sgx.Quote{}, fmt.Errorf("core: system already booted")
+	}
+
+	// ② RA request + metadata travel over the WAN.
+	md := smapp.Metadata{Digest: s.Package.Digest, Loc: s.Package.Loc}
+	s.chargeWAN(func() { s.Timing.WAN.Send(s.Clock, 256+len(md.Loc.Path)) })
+
+	// ③ Local attestation and metadata forwarding.
+	if err := s.User.LocalAttestSM(); err != nil {
+		return sgx.Quote{}, fmt.Errorf("core: step ③ (local attestation): %w", err)
+	}
+	if err := s.User.ForwardMetadata(md); err != nil {
+		return sgx.Quote{}, fmt.Errorf("core: step ③ (metadata): %w", err)
+	}
+
+	// ④ Device key distribution.
+	if err := s.SM.FetchDeviceKey(); err != nil {
+		return sgx.Quote{}, fmt.Errorf("core: step ④ (key distribution): %w", err)
+	}
+
+	// ⑤⑥ Verify, inject RoT, encrypt, deploy. The CSP's storage serves the
+	// developer-published bitstream; a hostile CSP may serve anything — the
+	// digest check catches it.
+	if err := s.SM.DeployCL(s.Package.Encoded); err != nil {
+		return sgx.Quote{}, fmt.Errorf("core: step ⑤⑥ (deployment): %w", err)
+	}
+
+	// ⑦ CL attestation.
+	if err := s.SM.AttestCL(); err != nil {
+		return sgx.Quote{}, fmt.Errorf("core: step ⑦ (CL attestation): %w", err)
+	}
+	if err := s.User.CollectCLResult(); err != nil {
+		return sgx.Quote{}, fmt.Errorf("core: step ⑦ (result collection): %w", err)
+	}
+
+	// ⑧ Deferred RA response.
+	quote, err := s.User.GenerateRAResponse(nonce, s.Timing.UserQuoteGen)
+	if err != nil {
+		return sgx.Quote{}, fmt.Errorf("core: step ⑧ (RA response): %w", err)
+	}
+	return quote, nil
+}
+
+// FinishProvision delivers the data owner's sealed data key to the user
+// enclave, completing the boot. Only possible after BootAndQuote — the
+// enclave's provisioning key exists only once the chain is attested.
+func (s *System) FinishProvision(senderPub, sealed []byte) error {
+	if err := s.User.ReceiveDataKey(senderPub, sealed); err != nil {
+		return fmt.Errorf("core: data key provisioning: %w", err)
+	}
+	s.booted = true
+	return nil
+}
+
+// Booted reports whether the boot (including data-key provisioning)
+// completed.
+func (s *System) Booted() bool { return s.booted }
+
+// chargeWAN runs a clock-charging network operation and mirrors the charge
+// into the trace's network phase, so the Figure 9 breakdown accounts for
+// every virtual microsecond the clock accumulated.
+func (s *System) chargeWAN(fn func()) {
+	span := s.Clock.StartSpan()
+	fn()
+	s.Trace.Record(trace.PhaseNetwork, span.Elapsed())
+}

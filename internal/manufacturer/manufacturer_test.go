@@ -1,0 +1,272 @@
+package manufacturer
+
+import (
+	"bytes"
+	"crypto/ecdh"
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"salus/internal/bitstream"
+	"salus/internal/cryptoutil"
+	"salus/internal/fpga"
+	"salus/internal/netlist"
+	"salus/internal/sgx"
+)
+
+func newService(t testing.TB) *Service {
+	t.Helper()
+	s, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func smImage() sgx.EnclaveImage {
+	return sgx.EnclaveImage{Name: "salus-sm", Version: 1, Code: []byte("sm app binary")}
+}
+
+// smQuote builds an SM-enclave quote carrying an ephemeral X25519 key, as
+// the real SM application does when requesting a device key.
+func smQuote(t testing.TB, s *Service) (sgx.Quote, *ecdh.PrivateKey) {
+	t.Helper()
+	platform, err := sgx.NewPlatform(s.Authority())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enclave := platform.Load(smImage())
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data [sgx.ReportDataSize]byte
+	copy(data[:32], priv.PublicKey().Bytes())
+	return enclave.Quote(data), priv
+}
+
+func TestManufactureDeviceFusesAndRegisters(t *testing.T) {
+	s := newService(t)
+	dev, err := s.ManufactureDevice(netlist.TestDevice, "A58275817")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.DNA() != "A58275817" {
+		t.Errorf("DNA = %s", dev.DNA())
+	}
+	if err := dev.FuseKey([]byte{1}); err == nil {
+		t.Error("device left unfused by manufacturing")
+	}
+	if _, err := s.ManufactureDevice(netlist.TestDevice, "A58275817"); err == nil {
+		t.Error("accepted duplicate DNA")
+	}
+}
+
+func TestKeyDistributionEndToEnd(t *testing.T) {
+	s := newService(t)
+	dev, err := s.ManufactureDevice(netlist.TestDevice, "A58275817")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.TrustSMEnclave(smImage().Measure())
+	quote, priv := smQuote(t, s)
+
+	resp, err := s.RequestDeviceKey(quote, "A58275817")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := OpenKeyResponse(priv, "A58275817", resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The recovered key must actually decrypt bitstreams the device
+	// accepts: round-trip through a trivial container.
+	if len(key) != cryptoutil.DeviceKeySize {
+		t.Fatalf("key size = %d", len(key))
+	}
+	d := &netlist.Design{Name: "cl", Modules: []netlist.ModuleSpec{{
+		Name: "m", Res: netlist.Resources{LUT: 1, Register: 1, BRAM: 1},
+		Cells: []netlist.BRAMCell{{Name: "c"}},
+	}}}
+	pl, err := netlist.Implement(d, netlist.TestDevice, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := bitstream.FromPlaced(pl, "kd-test").Encode()
+	sealed, err := bitstream.Encrypt(enc, key, netlist.TestDevice.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The device's internal decryptor must accept what the distributed key
+	// encrypted.
+	if err := dev.ICAP().Program(sealed); err != nil {
+		t.Fatalf("device rejected bitstream encrypted under distributed key: %v", err)
+	}
+}
+
+type nopCL struct{}
+
+func (nopCL) LogicID() string                            { return "kd-test" }
+func (nopCL) HandleTransaction(r []byte) ([]byte, error) { return r, nil }
+
+func init() {
+	fpga.RegisterLogic("kd-test", func(fpga.CLConfig) (fpga.CL, error) { return nopCL{}, nil })
+}
+
+func TestKeyRequestRejectsUnknownDevice(t *testing.T) {
+	s := newService(t)
+	s.TrustSMEnclave(smImage().Measure())
+	quote, _ := smQuote(t, s)
+	if _, err := s.RequestDeviceKey(quote, "NOPE"); !errors.Is(err, ErrUnknownDevice) {
+		t.Errorf("err = %v, want ErrUnknownDevice", err)
+	}
+}
+
+func TestKeyRequestRejectsUntrustedMeasurement(t *testing.T) {
+	s := newService(t)
+	if _, err := s.ManufactureDevice(netlist.TestDevice, "D1"); err != nil {
+		t.Fatal(err)
+	}
+	quote, _ := smQuote(t, s) // measurement never whitelisted
+	if _, err := s.RequestDeviceKey(quote, "D1"); !errors.Is(err, ErrUnknownEnclave) {
+		t.Errorf("err = %v, want ErrUnknownEnclave", err)
+	}
+}
+
+func TestKeyRequestRejectsForeignQuote(t *testing.T) {
+	s := newService(t)
+	if _, err := s.ManufactureDevice(netlist.TestDevice, "D1"); err != nil {
+		t.Fatal(err)
+	}
+	s.TrustSMEnclave(smImage().Measure())
+
+	// Quote from a platform provisioned under a different authority.
+	other := newService(t)
+	quote, _ := smQuote(t, other)
+	if _, err := s.RequestDeviceKey(quote, "D1"); !errors.Is(err, ErrUntrustedQuote) {
+		t.Errorf("err = %v, want ErrUntrustedQuote", err)
+	}
+}
+
+func TestKeyRequestRejectsTamperedReportData(t *testing.T) {
+	s := newService(t)
+	if _, err := s.ManufactureDevice(netlist.TestDevice, "D1"); err != nil {
+		t.Fatal(err)
+	}
+	s.TrustSMEnclave(smImage().Measure())
+	quote, _ := smQuote(t, s)
+	// A MITM swapping the ECDH key in report data breaks the quote
+	// signature.
+	quote.ReportData[0] ^= 1
+	if _, err := s.RequestDeviceKey(quote, "D1"); !errors.Is(err, ErrUntrustedQuote) {
+		t.Errorf("err = %v, want ErrUntrustedQuote", err)
+	}
+}
+
+func TestKeyResponseConfidentiality(t *testing.T) {
+	s := newService(t)
+	if _, err := s.ManufactureDevice(netlist.TestDevice, "D1"); err != nil {
+		t.Fatal(err)
+	}
+	s.TrustSMEnclave(smImage().Measure())
+	quote, priv := smQuote(t, s)
+	resp, err := s.RequestDeviceKey(quote, "D1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := OpenKeyResponse(priv, "D1", resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(resp.Sealed, key) || bytes.Contains(resp.ServerPub, key) {
+		t.Error("device key visible in the wire response")
+	}
+	// A different private key (an eavesdropper's) cannot open it.
+	evil, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenKeyResponse(evil, "D1", resp); err == nil {
+		t.Error("eavesdropper opened the key response")
+	}
+	// Nor does binding to the wrong DNA pass.
+	if _, err := OpenKeyResponse(priv, "D2", resp); err == nil {
+		t.Error("response opened under wrong DNA binding")
+	}
+}
+
+func TestRequestsCounter(t *testing.T) {
+	s := newService(t)
+	quote, _ := smQuote(t, s)
+	s.RequestDeviceKey(quote, "missing")
+	s.RequestDeviceKey(quote, "missing")
+	if s.Requests() != 2 {
+		t.Errorf("requests = %d", s.Requests())
+	}
+}
+
+func TestTCBRecoveryFloor(t *testing.T) {
+	s := newService(t)
+	if _, err := s.ManufactureDevice(netlist.TestDevice, "TCB1"); err != nil {
+		t.Fatal(err)
+	}
+	s.TrustSMEnclave(smImage().Measure())
+	quote, _ := smQuote(t, s) // version 1
+	s.SetMinSMVersion(2)
+	if _, err := s.RequestDeviceKey(quote, "TCB1"); !errors.Is(err, ErrOutdatedTCB) {
+		t.Errorf("outdated SM build got a key: %v", err)
+	}
+	s.SetMinSMVersion(1)
+	if _, err := s.RequestDeviceKey(quote, "TCB1"); err != nil {
+		t.Errorf("patched floor rejected a current build: %v", err)
+	}
+}
+
+func TestDebugEnclaveRefused(t *testing.T) {
+	s := newService(t)
+	if _, err := s.ManufactureDevice(netlist.TestDevice, "DBG1"); err != nil {
+		t.Fatal(err)
+	}
+	img := sgx.EnclaveImage{Name: "salus-sm", Version: 1, Debug: true, Code: []byte("sm app binary")}
+	s.TrustSMEnclave(img.Measure())
+	platform, err := sgx.NewPlatform(s.Authority())
+	if err != nil {
+		t.Fatal(err)
+	}
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data [sgx.ReportDataSize]byte
+	copy(data[:32], priv.PublicKey().Bytes())
+	quote := platform.Load(img).Quote(data)
+	if _, err := s.RequestDeviceKey(quote, "DBG1"); !errors.Is(err, ErrDebugEnclave) {
+		t.Errorf("debug enclave got a key: %v", err)
+	}
+}
+
+func TestRevokedPlatformGetsNoKeys(t *testing.T) {
+	s := newService(t)
+	if _, err := s.ManufactureDevice(netlist.TestDevice, "REV1"); err != nil {
+		t.Fatal(err)
+	}
+	s.TrustSMEnclave(smImage().Measure())
+	platform, err := sgx.NewPlatform(s.Authority())
+	if err != nil {
+		t.Fatal(err)
+	}
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data [sgx.ReportDataSize]byte
+	copy(data[:32], priv.PublicKey().Bytes())
+	quote := platform.Load(smImage()).Quote(data)
+	if _, err := s.RequestDeviceKey(quote, "REV1"); err != nil {
+		t.Fatalf("healthy platform refused: %v", err)
+	}
+	s.Authority().RevokePlatform(platform.PlatformPublicKey())
+	if _, err := s.RequestDeviceKey(quote, "REV1"); !errors.Is(err, ErrUntrustedQuote) {
+		t.Errorf("revoked platform served: %v", err)
+	}
+}

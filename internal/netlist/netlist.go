@@ -1,0 +1,358 @@
+// Package netlist models the compiled form of a custom logic (CL) design:
+// its resource footprint (LUTs, registers, BRAMs — Table 5 of the paper),
+// the floorplan that reserves a reconfigurable partition (Figure 8), and the
+// placement that assigns every named BRAM cell a frame address inside the
+// partition.
+//
+// The placement is deliberately seeded: the paper stresses that Salus "does
+// not require the hierarchical location of the RoT to be fixed in a final
+// compiled CL netlist" — each compile may put the SM logic's secret BRAM
+// somewhere else, and the developer records the resulting location
+// (Loc_Keyattest) alongside the bitstream. Implementing the same design with
+// a different seed reproduces exactly that behaviour.
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Resources counts the FPGA primitives a module consumes. The fields mirror
+// the columns of Table 5.
+type Resources struct {
+	LUT      int
+	Register int
+	BRAM     int
+}
+
+// Add returns the component-wise sum.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{r.LUT + o.LUT, r.Register + o.Register, r.BRAM + o.BRAM}
+}
+
+// Fits reports whether r fits within the budget.
+func (r Resources) Fits(budget Resources) bool {
+	return r.LUT <= budget.LUT && r.Register <= budget.Register && r.BRAM <= budget.BRAM
+}
+
+// Utilization returns the percentage use of each resource class against the
+// total, in the order LUT, Register, BRAM.
+func (r Resources) Utilization(total Resources) [3]float64 {
+	pct := func(used, avail int) float64 {
+		if avail == 0 {
+			return 0
+		}
+		return 100 * float64(used) / float64(avail)
+	}
+	return [3]float64{pct(r.LUT, total.LUT), pct(r.Register, total.Register), pct(r.BRAM, total.BRAM)}
+}
+
+func (r Resources) String() string {
+	return fmt.Sprintf("LUT=%d FF=%d BRAM=%d", r.LUT, r.Register, r.BRAM)
+}
+
+// BRAMInitBytes is the initialisation payload of one block RAM cell
+// (modelled on a 36Kb BRAM's init space, rounded to 4 KiB).
+const BRAMInitBytes = 4096
+
+// DeviceProfile describes the geometry of a device family member. Frame
+// dimensions follow the UltraScale layout (93 32-bit words per frame, the
+// last word modelled as an in-frame ECC/CRC word).
+type DeviceProfile struct {
+	Name         string
+	IDCode       uint32
+	SLRs         int // super logic regions; one is reserved as the RP
+	FrameWords   int // 32-bit words per frame, including the trailing ECC word
+	FramesPerSLR int // configuration frames per SLR
+	RPResources  Resources
+}
+
+// FrameBytes returns the serialised size of one frame.
+func (p DeviceProfile) FrameBytes() int { return p.FrameWords * 4 }
+
+// FrameDataBytes returns the payload bytes per frame (excluding ECC word).
+func (p DeviceProfile) FrameDataBytes() int { return (p.FrameWords - 1) * 4 }
+
+// FramesPerBRAM returns how many consecutive frames one BRAM cell's init
+// content occupies.
+func (p DeviceProfile) FramesPerBRAM() int {
+	db := p.FrameDataBytes()
+	return (BRAMInitBytes + db - 1) / db
+}
+
+// RPBytes returns the frame-data volume of the reconfigurable partition —
+// the partial bitstream's dominant term. Per the paper (§6.3), this depends
+// only on the reserved area, never on the accelerator inside it.
+func (p DeviceProfile) RPBytes() int { return p.FramesPerSLR * p.FrameBytes() }
+
+// BRAMSlots returns how many individually addressable BRAM content slots
+// the partition provides: bounded by the device's BRAM count, and capped so
+// the BRAM content region never exceeds half the partition's frames (the
+// rest is CLB/routing configuration).
+func (p DeviceProfile) BRAMSlots() int {
+	slots := p.RPResources.BRAM
+	if cap := p.FramesPerSLR / (2 * p.FramesPerBRAM()); slots > cap {
+		slots = cap
+	}
+	return slots
+}
+
+// Validate checks the profile is internally consistent.
+func (p DeviceProfile) Validate() error {
+	switch {
+	case p.FrameWords < 2:
+		return fmt.Errorf("netlist: profile %s: FrameWords=%d, need >= 2", p.Name, p.FrameWords)
+	case p.SLRs < 1:
+		return fmt.Errorf("netlist: profile %s: SLRs=%d, need >= 1", p.Name, p.SLRs)
+	case p.BRAMSlots() < 1:
+		return fmt.Errorf("netlist: profile %s: %d frames provide no BRAM content slot (%d frames each)",
+			p.Name, p.FramesPerSLR, p.FramesPerBRAM())
+	}
+	return nil
+}
+
+// U200 models the Xilinx Alveo U200 used in the paper's prototype: three
+// SLRs, one reserved as the reconfigurable partition. The RP resources are
+// exactly Table 5's "Total CL Resource" row, and the frame count is sized so
+// the partial bitstream lands in the tens of megabytes, as a one-SLR U200
+// partial bitstream does.
+var U200 = DeviceProfile{
+	Name:         "xcu200",
+	IDCode:       0x03824093,
+	SLRs:         3,
+	FrameWords:   93,
+	FramesPerSLR: 90000,
+	RPResources:  Resources{LUT: 355040, Register: 710080, BRAM: 696},
+}
+
+// U250 models the Alveo U200's larger sibling: four SLRs, one reserved as
+// the reconfigurable partition. Salus is not device-bound (§4): the same
+// HDK output retargets any profile at implementation time.
+var U250 = DeviceProfile{
+	Name:         "xcu250",
+	IDCode:       0x04B57093,
+	SLRs:         4,
+	FrameWords:   93,
+	FramesPerSLR: 108000,
+	RPResources:  Resources{LUT: 432000, Register: 864000, BRAM: 672},
+}
+
+// TestDevice is a small-frame profile for fast unit tests. Its resource
+// budget matches the U200 class so real Table 5 designs "fit", but its
+// partition holds only a few thousand frames, keeping bitstreams small.
+var TestDevice = DeviceProfile{
+	Name:         "xctest",
+	IDCode:       0x0badc0de,
+	SLRs:         3,
+	FrameWords:   17,
+	FramesPerSLR: 2048,
+	RPResources:  Resources{LUT: 355040, Register: 710080, BRAM: 696},
+}
+
+// BRAMCell is a named, initialised block RAM inside a module.
+type BRAMCell struct {
+	Name string // cell name within the module, e.g. "secrets"
+	Init []byte // at most BRAMInitBytes; shorter slices are zero-extended
+}
+
+// ModuleSpec describes one module of a CL design: its resource footprint
+// and any BRAM cells whose initial content matters (all other BRAMs counted
+// in Res.BRAM are anonymous and zero-initialised).
+type ModuleSpec struct {
+	Name  string
+	Res   Resources
+	Cells []BRAMCell
+}
+
+// Validate checks internal consistency of the module.
+func (m ModuleSpec) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("netlist: module with empty name")
+	}
+	if len(m.Cells) > m.Res.BRAM {
+		return fmt.Errorf("netlist: module %s: %d named BRAM cells exceed BRAM budget %d",
+			m.Name, len(m.Cells), m.Res.BRAM)
+	}
+	seen := make(map[string]bool)
+	for _, c := range m.Cells {
+		if c.Name == "" {
+			return fmt.Errorf("netlist: module %s: BRAM cell with empty name", m.Name)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("netlist: module %s: duplicate BRAM cell %q", m.Name, c.Name)
+		}
+		seen[c.Name] = true
+		if len(c.Init) > BRAMInitBytes {
+			return fmt.Errorf("netlist: module %s: cell %s init %d bytes exceeds %d",
+				m.Name, c.Name, len(c.Init), BRAMInitBytes)
+		}
+	}
+	return nil
+}
+
+// Design is a CL design: a set of modules (typically the user accelerator
+// plus the integrated SM logic) destined for one reconfigurable partition.
+type Design struct {
+	Name    string
+	Modules []ModuleSpec
+}
+
+// Resources returns the design's total footprint.
+func (d *Design) Resources() Resources {
+	var t Resources
+	for _, m := range d.Modules {
+		t = t.Add(m.Res)
+	}
+	return t
+}
+
+// Validate checks the design and its modules.
+func (d *Design) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("netlist: design with empty name")
+	}
+	if len(d.Modules) == 0 {
+		return fmt.Errorf("netlist: design %s has no modules", d.Name)
+	}
+	names := make(map[string]bool)
+	for _, m := range d.Modules {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+		if names[m.Name] {
+			return fmt.Errorf("netlist: design %s: duplicate module %q", d.Name, m.Name)
+		}
+		names[m.Name] = true
+	}
+	return nil
+}
+
+// PlacedCell is a named BRAM cell after placement: a contiguous run of
+// frames inside the reconfigurable partition.
+type PlacedCell struct {
+	Path       string // hierarchical path, "module/cell"
+	FrameBase  int    // first frame index within the RP
+	FrameCount int
+	Init       []byte // BRAMInitBytes, zero-extended
+}
+
+// Placed is an implemented design: every named BRAM cell has a frame
+// address, and the LUT/FF configuration pattern is fixed by the design
+// identity and seed.
+type Placed struct {
+	Design  *Design
+	Profile DeviceProfile
+	Seed    int64
+
+	cells []PlacedCell
+	index map[string]int
+}
+
+// Implement places the design onto the profile's reconfigurable partition.
+// The seed randomises cell placement, modelling independent compiles; the
+// same (design, profile, seed) triple always yields the same placement.
+func Implement(d *Design, p DeviceProfile, seed int64) (*Placed, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	res := d.Resources()
+	if !res.Fits(p.RPResources) {
+		return nil, fmt.Errorf("netlist: design %s (%v) exceeds RP budget (%v)", d.Name, res, p.RPResources)
+	}
+
+	// The BRAM content region occupies the tail of the RP frame space, one
+	// slot (FramesPerBRAM frames) per addressable BRAM. Named cells draw
+	// distinct slots from a seeded shuffle; anonymous BRAMs have no
+	// individually addressable init content and live in the CLB pattern.
+	slots := p.BRAMSlots()
+	perBRAM := p.FramesPerBRAM()
+	regionBase := p.FramesPerSLR - slots*perBRAM
+
+	var named []BRAMCell
+	var paths []string
+	for _, m := range d.Modules {
+		for _, c := range m.Cells {
+			named = append(named, c)
+			paths = append(paths, m.Name+"/"+c.Name)
+		}
+	}
+	if len(named) > slots {
+		return nil, fmt.Errorf("netlist: design %s has %d named BRAM cells, device provides %d slots",
+			d.Name, len(named), slots)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(slots)
+
+	pl := &Placed{Design: d, Profile: p, Seed: seed, index: make(map[string]int)}
+	for i, c := range named {
+		init := make([]byte, BRAMInitBytes)
+		copy(init, c.Init)
+		pc := PlacedCell{
+			Path:       paths[i],
+			FrameBase:  regionBase + perm[i]*perBRAM,
+			FrameCount: perBRAM,
+			Init:       init,
+		}
+		pl.index[pc.Path] = len(pl.cells)
+		pl.cells = append(pl.cells, pc)
+	}
+	sort.Slice(pl.cells, func(i, j int) bool { return pl.cells[i].FrameBase < pl.cells[j].FrameBase })
+	for i, c := range pl.cells {
+		pl.index[c.Path] = i
+	}
+	return pl, nil
+}
+
+// Cells returns all placed named cells ordered by frame address.
+func (pl *Placed) Cells() []PlacedCell {
+	out := make([]PlacedCell, len(pl.cells))
+	copy(out, pl.cells)
+	return out
+}
+
+// Cell looks up a placed cell by hierarchical path.
+func (pl *Placed) Cell(path string) (PlacedCell, bool) {
+	i, ok := pl.index[path]
+	if !ok {
+		return PlacedCell{}, false
+	}
+	return pl.cells[i], true
+}
+
+// Location describes where a named cell landed — the Loc_Keyattest metadata
+// the developer records alongside the bitstream for later manipulation.
+type Location struct {
+	Path       string
+	FrameBase  int
+	FrameCount int
+}
+
+// Location returns the recorded location of a cell.
+func (pl *Placed) Location(path string) (Location, bool) {
+	c, ok := pl.Cell(path)
+	if !ok {
+		return Location{}, false
+	}
+	return Location{Path: c.Path, FrameBase: c.FrameBase, FrameCount: c.FrameCount}, true
+}
+
+// UtilizationReport renders Table 5: per-module resource use against the RP
+// totals.
+func UtilizationReport(p DeviceProfile, modules []ModuleSpec) string {
+	var b strings.Builder
+	t := p.RPResources
+	fmt.Fprintf(&b, "%-18s %16s %16s %12s\n", "Logic", "LUT", "Register", "BRAM")
+	fmt.Fprintf(&b, "%-18s %16d %16d %12d\n", "Total CL Resource", t.LUT, t.Register, t.BRAM)
+	for _, m := range modules {
+		u := m.Res.Utilization(t)
+		fmt.Fprintf(&b, "%-18s %10d (%2.0f%%) %10d (%2.0f%%) %6d (%2.0f%%)\n",
+			m.Name, m.Res.LUT, u[0], m.Res.Register, u[1], m.Res.BRAM, u[2])
+	}
+	return b.String()
+}

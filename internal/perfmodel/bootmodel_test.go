@@ -1,0 +1,63 @@
+package perfmodel
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const u200Bitstream = 90000 * 93 * 4 // one-SLR partial bitstream bytes
+
+func TestBootModelMatchesPaperTotal(t *testing.T) {
+	m := DefaultBootModel(u200Bitstream)
+	total := m.Total()
+	if total < 15*time.Second || total > 23*time.Second {
+		t.Errorf("modelled total = %v, paper reports 18.8 s", total)
+	}
+	if share := m.ManipulationShare(); share < 0.6 || share > 0.85 {
+		t.Errorf("manipulation share = %.2f, paper reports 0.732", share)
+	}
+}
+
+func TestBootModelScalesWithBitstream(t *testing.T) {
+	small := DefaultBootModel(u200Bitstream / 4)
+	big := DefaultBootModel(u200Bitstream * 2)
+	if small.Total() >= big.Total() {
+		t.Error("model does not scale with bitstream size")
+	}
+	// The attestation constants do NOT scale — with a tiny bitstream the
+	// quote path dominates instead.
+	tiny := DefaultBootModel(1 << 20)
+	if tiny.ManipulationShare() > 0.5 {
+		t.Errorf("tiny bitstream still dominated by manipulation (%.2f)", tiny.ManipulationShare())
+	}
+}
+
+func TestBootModelWhatIfTailoredToolchain(t *testing.T) {
+	// The paper attributes the dominant cost to "directly wrapping the
+	// RapidWright inside an enclave without tailoring". The model
+	// quantifies the headroom: a 10x-tailored toolchain cuts total boot by
+	// more than half.
+	m := DefaultBootModel(u200Bitstream)
+	tailored := m
+	tailored.ToolSlowdown = m.ToolSlowdown / 10
+	if tailored.Total() > m.Total()/2 {
+		t.Errorf("tailoring headroom too small: %v -> %v", m.Total(), tailored.Total())
+	}
+}
+
+func TestVMBootComparison(t *testing.T) {
+	out := VMBootComparison(DefaultBootModel(u200Bitstream).Total(), 40*time.Second)
+	if !strings.Contains(out, "%") || !strings.Contains(out, "40s") {
+		t.Errorf("comparison text malformed: %s", out)
+	}
+}
+
+func TestFormatBootModel(t *testing.T) {
+	out := FormatBootModel(DefaultBootModel(u200Bitstream))
+	for _, want := range []string{"Bitstream Manipulation", "TOTAL", "MiB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package puf implements the SGX-FPGA-style root of trust the paper
+// compares against (§3.2, Table 1): a physically unclonable function whose
+// challenge-response pairs (CRPs), pre-recorded in a database, attest the
+// device.
+//
+// The point of building the baseline is to make Table 1's drawback
+// *executable*: because the PUF is unique per device, the developer must
+// operate on the very FPGA board the user will rent to pre-generate a CRP
+// database — coupling the development phase to the deployment phase, which
+// contradicts cloud usage. The tests demonstrate exactly that failure mode,
+// alongside the mechanism working when the coupling is honoured.
+package puf
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+
+	"salus/internal/cryptoutil"
+	"salus/internal/siphash"
+)
+
+// Errors.
+var (
+	// ErrExhausted means the database has no unused CRPs left — each pair
+	// is single-use, or an observer could replay responses.
+	ErrExhausted = errors.New("puf: CRP database exhausted")
+	// ErrMismatch means the device's response did not match the recorded
+	// one: wrong device, or a tampered response.
+	ErrMismatch = errors.New("puf: response mismatch")
+)
+
+// PUF models one device's arbiter PUF: a keyed pseudorandom mapping from
+// challenges to responses, where the "key" stands for the uncontrollable
+// silicon variations unique to this die. It is unclonable by construction:
+// the secret never leaves the device and cannot be chosen.
+type PUF struct {
+	silicon []byte // the die's intrinsic randomness
+}
+
+// New fabricates a PUF (at silicon manufacturing; every call is a new die).
+func New() *PUF {
+	return &PUF{silicon: cryptoutil.RandomKey(16)}
+}
+
+// Evaluate computes the response to a challenge. Physically this is only
+// possible with the board in hand (or with logic on the fabric) — callers
+// model either the developer's lab bench or the on-CL evaluation path.
+func (p *PUF) Evaluate(challenge uint64) uint64 {
+	var msg [8]byte
+	binary.BigEndian.PutUint64(msg[:], challenge)
+	return siphash.Sum64(p.silicon, msg[:])
+}
+
+// CRP is one recorded challenge-response pair.
+type CRP struct {
+	Challenge uint64
+	Response  uint64
+}
+
+// Database is the developer-produced CRP store for ONE device. It must be
+// generated with physical access to that exact device.
+type Database struct {
+	mu    sync.Mutex
+	pairs []CRP
+	next  int
+}
+
+// Enroll generates n fresh CRPs against the device — the step that forces
+// the developer onto the user's rented board.
+func Enroll(p *PUF, n int) *Database {
+	db := &Database{pairs: make([]CRP, n)}
+	for i := range db.pairs {
+		ch := binary.BigEndian.Uint64(cryptoutil.RandomKey(8))
+		db.pairs[i] = CRP{Challenge: ch, Response: p.Evaluate(ch)}
+	}
+	return db
+}
+
+// Remaining reports how many unused CRPs are left.
+func (db *Database) Remaining() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.pairs) - db.next
+}
+
+// NextChallenge draws the next unused challenge.
+func (db *Database) NextChallenge() (uint64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.next >= len(db.pairs) {
+		return 0, ErrExhausted
+	}
+	return db.pairs[db.next].Challenge, nil
+}
+
+// Verify checks a device response against the pending CRP and consumes it.
+func (db *Database) Verify(response uint64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.next >= len(db.pairs) {
+		return ErrExhausted
+	}
+	want := db.pairs[db.next].Response
+	db.next++
+	if response != want {
+		return ErrMismatch
+	}
+	return nil
+}
+
+// Attest runs one CRP round against a device-side evaluator (the CL's PUF
+// access path): draw a challenge, evaluate on-device, verify.
+func Attest(db *Database, evaluate func(uint64) uint64) error {
+	ch, err := db.NextChallenge()
+	if err != nil {
+		return err
+	}
+	return db.Verify(evaluate(ch))
+}

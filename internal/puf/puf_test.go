@@ -1,0 +1,94 @@
+package puf
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvaluateDeterministic(t *testing.T) {
+	p := New()
+	if p.Evaluate(42) != p.Evaluate(42) {
+		t.Error("PUF response not stable")
+	}
+	if p.Evaluate(42) == p.Evaluate(43) {
+		t.Error("distinct challenges collide")
+	}
+}
+
+func TestUnclonability(t *testing.T) {
+	// Two dies answer the same challenge differently (with overwhelming
+	// probability over many challenges).
+	a, b := New(), New()
+	same := 0
+	for ch := uint64(0); ch < 64; ch++ {
+		if a.Evaluate(ch) == b.Evaluate(ch) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/64 responses collide across dies", same)
+	}
+}
+
+func TestAttestRightDevice(t *testing.T) {
+	dev := New()
+	db := Enroll(dev, 8)
+	for i := 0; i < 8; i++ {
+		if err := Attest(db, dev.Evaluate); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+	if err := Attest(db, dev.Evaluate); !errors.Is(err, ErrExhausted) {
+		t.Errorf("9th round: %v, want ErrExhausted", err)
+	}
+}
+
+func TestDeploymentCoupling(t *testing.T) {
+	// THE Table 1 drawback: a database enrolled on the developer's bench
+	// device is useless on the device the cloud user actually rents.
+	benchDevice := New()
+	rentedDevice := New()
+	db := Enroll(benchDevice, 4)
+	if err := Attest(db, rentedDevice.Evaluate); !errors.Is(err, ErrMismatch) {
+		t.Errorf("attestation against a different die: %v, want ErrMismatch", err)
+	}
+}
+
+func TestCRPsAreSingleUse(t *testing.T) {
+	dev := New()
+	db := Enroll(dev, 2)
+	ch, err := db.NextChallenge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Verify(dev.Evaluate(ch)); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the same response against the next slot fails — the next
+	// CRP has a different challenge.
+	if err := db.Verify(dev.Evaluate(ch)); !errors.Is(err, ErrMismatch) {
+		t.Errorf("replayed response: %v, want ErrMismatch", err)
+	}
+}
+
+func TestForgedResponseRejected(t *testing.T) {
+	dev := New()
+	db := Enroll(dev, 1)
+	if err := Attest(db, func(ch uint64) uint64 { return ch ^ 0xDEAD }); !errors.Is(err, ErrMismatch) {
+		t.Errorf("forged response: %v", err)
+	}
+}
+
+func TestPropertyChallengeSensitivity(t *testing.T) {
+	p := New()
+	f := func(a, b uint64) bool {
+		if a == b {
+			return true
+		}
+		return p.Evaluate(a) != p.Evaluate(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,230 @@
+package rpc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+type echoArgs struct {
+	Msg string `json:"msg"`
+	N   int    `json:"n"`
+}
+
+type echoReply struct {
+	Msg string `json:"msg"`
+	N   int    `json:"n"`
+}
+
+func newEchoServer(t testing.TB) (addr string, srv *Server) {
+	t.Helper()
+	srv = NewServer()
+	srv.Handle("echo", Typed(func(in echoArgs) (echoReply, error) {
+		return echoReply{Msg: in.Msg, N: in.N + 1}, nil
+	}))
+	srv.Handle("fail", Typed(func(in echoArgs) (echoReply, error) {
+		return echoReply{}, errors.New("deliberate failure: " + in.Msg)
+	}))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr, srv
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	addr, _ := newEchoServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var out echoReply
+	if err := c.Call("echo", echoArgs{Msg: "hello", N: 41}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Msg != "hello" || out.N != 42 {
+		t.Errorf("reply = %+v", out)
+	}
+}
+
+func TestCallErrorPropagates(t *testing.T) {
+	addr, _ := newEchoServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Call("fail", echoArgs{Msg: "boom"}, nil)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("err = %v", err)
+	}
+	// The connection survives a handler error.
+	var out echoReply
+	if err := c.Call("echo", echoArgs{N: 1}, &out); err != nil || out.N != 2 {
+		t.Errorf("connection dead after error: %v %+v", err, out)
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	addr, _ := newEchoServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Call("nope", nil, nil); err == nil || !strings.Contains(err.Error(), "unknown method") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	addr, _ := newEchoServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Call("echo", json.RawMessage(`"not an object"`), nil); err == nil {
+		t.Error("accepted mistyped params")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	addr, _ := newEchoServer(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 20; j++ {
+				var out echoReply
+				msg := fmt.Sprintf("c%d-%d", i, j)
+				if err := c.Call("echo", echoArgs{Msg: msg, N: j}, &out); err != nil {
+					t.Error(err)
+					return
+				}
+				if out.Msg != msg || out.N != j+1 {
+					t.Errorf("reply %+v for %s/%d", out, msg, j)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestSharedClientConcurrency(t *testing.T) {
+	addr, _ := newEchoServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var out echoReply
+			if err := c.Call("echo", echoArgs{N: i}, &out); err != nil {
+				t.Error(err)
+				return
+			}
+			if out.N != i+1 {
+				t.Errorf("got %d want %d", out.N, i+1)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestLargePayload(t *testing.T) {
+	addr, _ := newEchoServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	big := strings.Repeat("x", 4<<20)
+	var out echoReply
+	if err := c.Call("echo", echoArgs{Msg: big}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Msg) != len(big) {
+		t.Errorf("len = %d", len(out.Msg))
+	}
+}
+
+func TestCallAfterClose(t *testing.T) {
+	addr, _ := newEchoServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := c.Call("echo", nil, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	addr, srv := newEchoServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv.Close()
+	if err := c.Call("echo", echoArgs{}, nil); err == nil {
+		t.Error("call succeeded on closed server")
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	var sink strings.Builder
+	err := writeFrame(&sink, strings.Repeat("y", MaxFrame+16))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	// A handler that never answers within the deadline.
+	srv := NewServer()
+	block := make(chan struct{})
+	srv.Handle("hang", Typed(func(struct{}) (struct{}, error) {
+		<-block
+		return struct{}{}, nil
+	}))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { close(block); srv.Close() }()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetTimeout(100 * time.Millisecond)
+	start := time.Now()
+	if err := c.Call("hang", struct{}{}, nil); err == nil {
+		t.Fatal("hung call returned nil")
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Error("timeout did not bound the call")
+	}
+}

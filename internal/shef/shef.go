@@ -1,0 +1,152 @@
+// Package shef implements the ShEF-style standalone FPGA TEE baseline the
+// paper compares against (§3.2, §4.3): each device carries a unique private
+// key injected into extra secure hardware (an ARM BootROM) during
+// manufacturing, and the custom logic is attested with a *remote*
+// attestation analogous to SGX's — public-key signatures over the CL
+// measurement, verified through a certificate chain, with the CL developer
+// acting as a certificate authority for the bitstream.
+//
+// The baseline exists so the paper's two criticisms of this design are
+// executable:
+//
+//   - it needs extra RoT hardware (the BootROM key below — something COTS
+//     cloud FPGAs do not have), and
+//   - it needs a PKI and the developer's participation as a CA during
+//     deployment, with PKE rounds orders of magnitude more expensive than
+//     Salus's symmetric MAC (BenchmarkAblationAttestationScheme).
+package shef
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// Errors.
+var (
+	ErrBadCert      = errors.New("shef: certificate verification failed")
+	ErrBadSignature = errors.New("shef: attestation signature invalid")
+	ErrBadBitstream = errors.New("shef: bitstream not endorsed by developer CA")
+)
+
+// Manufacturer roots the device trust chain and injects BootROM keys.
+type Manufacturer struct {
+	priv ed25519.PrivateKey
+	pub  ed25519.PublicKey
+}
+
+// NewManufacturer creates the root.
+func NewManufacturer() (*Manufacturer, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	return &Manufacturer{priv: priv, pub: pub}, nil
+}
+
+// Root returns the verification root.
+func (m *Manufacturer) Root() ed25519.PublicKey {
+	return append(ed25519.PublicKey(nil), m.pub...)
+}
+
+// Device is a ShEF-capable FPGA: the extra secure hardware holds a unique
+// private key whose public half the manufacturer certifies.
+type Device struct {
+	bootROMPriv ed25519.PrivateKey // the "extra hardware" Salus avoids
+	DeviceCert  Cert
+}
+
+// Cert is a public key endorsed by a signer.
+type Cert struct {
+	Pub       ed25519.PublicKey
+	Signature []byte
+}
+
+// ManufactureDevice fabricates a device with an injected BootROM key.
+func (m *Manufacturer) ManufactureDevice() (*Device, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	return &Device{
+		bootROMPriv: priv,
+		DeviceCert:  Cert{Pub: pub, Signature: ed25519.Sign(m.priv, pub)},
+	}, nil
+}
+
+// DeveloperCA is the CL developer acting as a certificate authority: it
+// endorses exact bitstream measurements. This keeps the developer in the
+// loop at *deployment* time — one of the paper's usability criticisms.
+type DeveloperCA struct {
+	priv ed25519.PrivateKey
+	pub  ed25519.PublicKey
+}
+
+// NewDeveloperCA creates a developer CA.
+func NewDeveloperCA() (*DeveloperCA, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	return &DeveloperCA{priv: priv, pub: pub}, nil
+}
+
+// Public returns the CA's verification key.
+func (ca *DeveloperCA) Public() ed25519.PublicKey {
+	return append(ed25519.PublicKey(nil), ca.pub...)
+}
+
+// Endorse signs a bitstream digest, certifying "this is my IP".
+func (ca *DeveloperCA) Endorse(bitstreamDigest [32]byte) []byte {
+	return ed25519.Sign(ca.priv, bitstreamDigest[:])
+}
+
+// Attestation is the device's remote attestation of a loaded CL.
+type Attestation struct {
+	Digest      [32]byte // measured CL bitstream
+	Nonce       []byte
+	DeviceCert  Cert
+	Signature   []byte // by the BootROM key over (digest, nonce)
+	Endorsement []byte // developer CA signature over the digest
+}
+
+func attBody(digest [32]byte, nonce []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("shef/attestation"))
+	h.Write(digest[:])
+	h.Write(nonce)
+	return h.Sum(nil)
+}
+
+// AttestCL produces the device's attestation for a loaded bitstream
+// (identified by its digest) against a verifier nonce, attaching the
+// developer's endorsement.
+func (d *Device) AttestCL(digest [32]byte, nonce []byte, endorsement []byte) Attestation {
+	return Attestation{
+		Digest:      digest,
+		Nonce:       append([]byte(nil), nonce...),
+		DeviceCert:  Cert{Pub: append(ed25519.PublicKey(nil), d.DeviceCert.Pub...), Signature: append([]byte(nil), d.DeviceCert.Signature...)},
+		Signature:   ed25519.Sign(d.bootROMPriv, attBody(digest, nonce)),
+		Endorsement: append([]byte(nil), endorsement...),
+	}
+}
+
+// Verify checks the full chain: manufacturer → device cert → signature over
+// (digest, nonce), plus the developer CA's endorsement of the digest.
+func Verify(root ed25519.PublicKey, devCA ed25519.PublicKey, nonce []byte, a Attestation) error {
+	if len(a.DeviceCert.Pub) != ed25519.PublicKeySize {
+		return ErrBadCert
+	}
+	if !ed25519.Verify(root, a.DeviceCert.Pub, a.DeviceCert.Signature) {
+		return fmt.Errorf("%w: device certificate", ErrBadCert)
+	}
+	if !ed25519.Verify(a.DeviceCert.Pub, attBody(a.Digest, nonce), a.Signature) {
+		return ErrBadSignature
+	}
+	if !ed25519.Verify(devCA, a.Digest[:], a.Endorsement) {
+		return ErrBadBitstream
+	}
+	return nil
+}

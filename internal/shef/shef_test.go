@@ -1,0 +1,107 @@
+package shef
+
+import (
+	"errors"
+	"testing"
+
+	"salus/internal/cryptoutil"
+)
+
+type rig struct {
+	mfr *Manufacturer
+	dev *Device
+	ca  *DeveloperCA
+}
+
+func newRig(t testing.TB) *rig {
+	t.Helper()
+	mfr, err := NewManufacturer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := mfr.ManufactureDevice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := NewDeveloperCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{mfr: mfr, dev: dev, ca: ca}
+}
+
+func TestAttestationChainVerifies(t *testing.T) {
+	r := newRig(t)
+	digest := cryptoutil.Digest([]byte("bitstream"))
+	nonce := cryptoutil.RandomKey(16)
+	att := r.dev.AttestCL(digest, nonce, r.ca.Endorse(digest))
+	if err := Verify(r.mfr.Root(), r.ca.Public(), nonce, att); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejectsWrongRoot(t *testing.T) {
+	r := newRig(t)
+	other, err := NewManufacturer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := cryptoutil.Digest([]byte("b"))
+	nonce := cryptoutil.RandomKey(16)
+	att := r.dev.AttestCL(digest, nonce, r.ca.Endorse(digest))
+	if err := Verify(other.Root(), r.ca.Public(), nonce, att); !errors.Is(err, ErrBadCert) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestVerifyRejectsStaleNonce(t *testing.T) {
+	r := newRig(t)
+	digest := cryptoutil.Digest([]byte("b"))
+	att := r.dev.AttestCL(digest, []byte("nonce-1"), r.ca.Endorse(digest))
+	if err := Verify(r.mfr.Root(), r.ca.Public(), []byte("nonce-2"), att); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("replayed attestation: %v", err)
+	}
+}
+
+func TestVerifyRejectsUnendorsedBitstream(t *testing.T) {
+	// A malicious shell loads its own CL: the device signs honestly, but
+	// the developer CA never endorsed that digest.
+	r := newRig(t)
+	evil := cryptoutil.Digest([]byte("evil bitstream"))
+	good := cryptoutil.Digest([]byte("good bitstream"))
+	nonce := cryptoutil.RandomKey(16)
+	att := r.dev.AttestCL(evil, nonce, r.ca.Endorse(good))
+	if err := Verify(r.mfr.Root(), r.ca.Public(), nonce, att); !errors.Is(err, ErrBadBitstream) {
+		t.Errorf("unendorsed CL: %v", err)
+	}
+}
+
+func TestVerifyRejectsForgedDevice(t *testing.T) {
+	// A device fabricated outside the manufacturer's chain cannot attest.
+	r := newRig(t)
+	rogueMfr, err := NewManufacturer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rogueDev, err := rogueMfr.ManufactureDevice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := cryptoutil.Digest([]byte("b"))
+	nonce := cryptoutil.RandomKey(16)
+	att := rogueDev.AttestCL(digest, nonce, r.ca.Endorse(digest))
+	if err := Verify(r.mfr.Root(), r.ca.Public(), nonce, att); !errors.Is(err, ErrBadCert) {
+		t.Errorf("rogue device: %v", err)
+	}
+}
+
+func TestVerifyRejectsMalformedCert(t *testing.T) {
+	r := newRig(t)
+	digest := cryptoutil.Digest([]byte("b"))
+	nonce := cryptoutil.RandomKey(16)
+	att := r.dev.AttestCL(digest, nonce, r.ca.Endorse(digest))
+	att.DeviceCert.Pub = nil
+	if err := Verify(r.mfr.Root(), r.ca.Public(), nonce, att); !errors.Is(err, ErrBadCert) {
+		t.Errorf("nil cert: %v", err)
+	}
+}

@@ -1,0 +1,148 @@
+package shell
+
+import (
+	"salus/internal/channel"
+	"salus/internal/siphash"
+)
+
+// This file is the adversary toolkit: one Interceptor per attack class of
+// the threat model (§3.1) and Table 3. Each attack is written to be as
+// strong as the model allows — full knowledge of every protocol, format,
+// and public value; no knowledge of enclave- or CL-held keys.
+
+// PassThrough is the honest baseline: observe everything, change nothing.
+type PassThrough struct{}
+
+// OnLoad implements Interceptor.
+func (PassThrough) OnLoad(d []byte) []byte { return d }
+
+// OnRequest implements Interceptor.
+func (PassThrough) OnRequest(r []byte) []byte { return r }
+
+// OnResponse implements Interceptor.
+func (PassThrough) OnResponse(r []byte) []byte { return r }
+
+// SubstituteCL replaces every loaded bitstream with the attacker's own —
+// the booting-integrity attack (Table 3, attack 1): a malicious CL that
+// would exfiltrate data if it ever got attested.
+type SubstituteCL struct {
+	PassThrough
+	Evil []byte // the attacker's bitstream (plaintext or encrypted)
+}
+
+// OnLoad implements Interceptor.
+func (a SubstituteCL) OnLoad([]byte) []byte { return a.Evil }
+
+// TamperBits flips one bit at Offset in every loaded bitstream — the
+// blind-modification integrity attack against an encrypted load.
+type TamperBits struct {
+	PassThrough
+	Offset int
+}
+
+// OnLoad implements Interceptor.
+func (a TamperBits) OnLoad(d []byte) []byte {
+	out := append([]byte(nil), d...)
+	if len(out) > 0 {
+		out[a.Offset%len(out)] ^= 0x01
+	}
+	return out
+}
+
+// TamperRequests flips a bit in every host→CL frame past the type tag —
+// the bus integrity attack on PCIe transactions.
+type TamperRequests struct{ PassThrough }
+
+// OnRequest implements Interceptor.
+func (TamperRequests) OnRequest(r []byte) []byte {
+	out := append([]byte(nil), r...)
+	if len(out) > 2 {
+		out[len(out)/2] ^= 0x10
+	}
+	return out
+}
+
+// TamperResponses flips a bit in every CL→host frame — the bus integrity
+// attack in the other direction.
+type TamperResponses struct{ PassThrough }
+
+// OnResponse implements Interceptor.
+func (TamperResponses) OnResponse(r []byte) []byte {
+	out := append([]byte(nil), r...)
+	if len(out) > 2 {
+		out[len(out)/2] ^= 0x10
+	}
+	return out
+}
+
+// ReplayRequests records the first secure-register frame it sees and
+// substitutes it for every later secure-register frame — the bus replay
+// attack (freshness).
+type ReplayRequests struct {
+	PassThrough
+	recorded []byte
+}
+
+// OnRequest implements Interceptor.
+func (a *ReplayRequests) OnRequest(r []byte) []byte {
+	if channel.MsgType(r) != channel.MsgSecureReg {
+		return r
+	}
+	if a.recorded == nil {
+		a.recorded = append([]byte(nil), r...)
+		return r
+	}
+	return append([]byte(nil), a.recorded...)
+}
+
+// ForgeAttestation answers CL attestation challenges itself instead of
+// forwarding them — the "fake CL" confidentiality/integrity attack: if the
+// shell could fabricate a valid response without Key_attest, it could
+// substitute any CL and still pass attestation. It guesses with a key of
+// zeros (any key-independent guess is equivalent under SipHash's PRF
+// property).
+type ForgeAttestation struct {
+	PassThrough
+	Attempts int
+}
+
+// OnRequest implements Interceptor: it lets the request through unchanged
+// (so the transcript stays plausible) but hijacks the response instead.
+func (a *ForgeAttestation) OnRequest(r []byte) []byte { return r }
+
+// OnResponse implements Interceptor.
+func (a *ForgeAttestation) OnResponse(r []byte) []byte {
+	if channel.MsgType(r) != channel.MsgAttestResp {
+		return r
+	}
+	a.Attempts++
+	resp, err := channel.DecodeAttestResponse(r)
+	if err != nil {
+		return r
+	}
+	guessKey := make([]byte, siphash.KeySize)
+	forged := channel.AttestResponse{Value: resp.Value, DNA: resp.DNA}
+	forged.MAC = channel.AttestMACResp(guessKey, forged.Value, forged.DNA)
+	return forged.Encode()
+}
+
+// SpoofDNA rewrites the DNA in attestation responses — the relocation
+// attack where the CSP quietly runs the CL on a different board than the
+// one it billed the customer for.
+type SpoofDNA struct {
+	PassThrough
+	Claim string
+}
+
+// OnResponse implements Interceptor.
+func (a SpoofDNA) OnResponse(r []byte) []byte {
+	if channel.MsgType(r) != channel.MsgAttestResp {
+		return r
+	}
+	resp, err := channel.DecodeAttestResponse(r)
+	if err != nil {
+		return r
+	}
+	resp.DNA = a.Claim // MAC is left as-is: the attacker cannot recompute it
+	return resp.Encode()
+}

@@ -1,0 +1,75 @@
+// Package simnet models the communication links of the Salus deployment:
+// the wide-area network between the data owner's laptop and the cloud, the
+// intra-cloud network between the SM enclave and the manufacturer's key
+// distribution / DCAP services, and the PCIe link between the host and the
+// FPGA shell.
+//
+// A Link charges latency and serialisation time to a simtime.Clock. The
+// paper's experiment setup (§6.1) places the user client on a laptop behind
+// a WAN and the manufacturer server on an intra-cloud instance, which is why
+// the user enclave's remote attestation (2568 ms) costs more than the
+// manufacturer's (1709 ms); the default profiles below reproduce that
+// asymmetry.
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"salus/internal/simtime"
+)
+
+// Link is a point-to-point channel with a fixed round-trip latency and a
+// serialisation bandwidth.
+type Link struct {
+	Name      string
+	RTT       time.Duration // full round-trip latency
+	Bandwidth float64       // payload bytes per second; <=0 means infinite
+}
+
+// Standard link profiles used by the reproduction. Values are calibrated in
+// EXPERIMENTS.md against the paper's Figure 9.
+var (
+	// WAN connects the user client (laptop) to the cloud instance and to
+	// the DCAP attestation service over a wide-area network.
+	WAN = Link{Name: "wan", RTT: 120 * time.Millisecond, Bandwidth: 50e6}
+	// IntraCloud connects the cloud instance to the manufacturer server
+	// and the Alibaba-hosted DCAP server.
+	IntraCloud = Link{Name: "intra-cloud", RTT: 4 * time.Millisecond, Bandwidth: 1e9}
+	// PCIe connects the host to the FPGA shell (Gen3 x16-class DMA).
+	PCIe = Link{Name: "pcie", RTT: 600 * time.Microsecond, Bandwidth: 12e9}
+	// Loopback connects two enclaves on the same host (local attestation
+	// never leaves the machine; §6.3 measures it at 836 µs).
+	Loopback = Link{Name: "loopback", RTT: 80 * time.Microsecond, Bandwidth: 8e9}
+)
+
+// TransferTime returns the modelled one-way time for n payload bytes:
+// half an RTT plus serialisation.
+func (l Link) TransferTime(n int) time.Duration {
+	d := l.RTT / 2
+	if l.Bandwidth > 0 && n > 0 {
+		d += time.Duration(float64(n) / l.Bandwidth * float64(time.Second))
+	}
+	return d
+}
+
+// Send charges a one-way transfer of n bytes to the clock and returns the
+// charged duration.
+func (l Link) Send(clock *simtime.Clock, n int) time.Duration {
+	d := l.TransferTime(n)
+	clock.Advance(d)
+	return d
+}
+
+// RoundTrip charges a request/response exchange (req bytes out, resp bytes
+// back) to the clock and returns the charged duration.
+func (l Link) RoundTrip(clock *simtime.Clock, req, resp int) time.Duration {
+	d := l.TransferTime(req) + l.TransferTime(resp)
+	clock.Advance(d)
+	return d
+}
+
+// String implements fmt.Stringer.
+func (l Link) String() string {
+	return fmt.Sprintf("%s(rtt=%v, bw=%.0f MB/s)", l.Name, l.RTT, l.Bandwidth/1e6)
+}

@@ -1,0 +1,65 @@
+package simnet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"salus/internal/simtime"
+)
+
+func TestTransferTimeLatencyOnly(t *testing.T) {
+	l := Link{RTT: 100 * time.Millisecond}
+	if got := l.TransferTime(1 << 30); got != 50*time.Millisecond {
+		t.Errorf("infinite-bandwidth transfer = %v, want 50ms", got)
+	}
+}
+
+func TestTransferTimeWithBandwidth(t *testing.T) {
+	l := Link{RTT: 10 * time.Millisecond, Bandwidth: 1e6} // 1 MB/s
+	got := l.TransferTime(1e6)
+	want := 5*time.Millisecond + time.Second
+	if got != want {
+		t.Errorf("transfer = %v, want %v", got, want)
+	}
+}
+
+func TestTransferTimeZeroBytes(t *testing.T) {
+	l := Link{RTT: 8 * time.Millisecond, Bandwidth: 1}
+	if got := l.TransferTime(0); got != 4*time.Millisecond {
+		t.Errorf("zero-byte transfer = %v, want half RTT", got)
+	}
+}
+
+func TestSendChargesClock(t *testing.T) {
+	c := simtime.NewClock()
+	d := WAN.Send(c, 0)
+	if c.Elapsed() != d || d != WAN.RTT/2 {
+		t.Errorf("clock = %v, send = %v, want %v", c.Elapsed(), d, WAN.RTT/2)
+	}
+}
+
+func TestRoundTripChargesBothDirections(t *testing.T) {
+	c := simtime.NewClock()
+	l := Link{RTT: 100 * time.Millisecond, Bandwidth: 1e6}
+	d := l.RoundTrip(c, 1e6, 0)
+	want := 100*time.Millisecond + time.Second
+	if d != want || c.Elapsed() != want {
+		t.Errorf("round trip = %v (clock %v), want %v", d, c.Elapsed(), want)
+	}
+}
+
+func TestProfileOrdering(t *testing.T) {
+	// The deployment's topology: WAN is slower than intra-cloud, which is
+	// slower than PCIe, which is slower than same-host loopback.
+	if !(WAN.RTT > IntraCloud.RTT && IntraCloud.RTT > PCIe.RTT && PCIe.RTT > Loopback.RTT) {
+		t.Errorf("link profiles out of order: wan=%v intra=%v pcie=%v loop=%v",
+			WAN.RTT, IntraCloud.RTT, PCIe.RTT, Loopback.RTT)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := WAN.String(); !strings.Contains(s, "wan") || !strings.Contains(s, "rtt") {
+		t.Errorf("String() = %q", s)
+	}
+}

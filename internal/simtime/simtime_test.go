@@ -1,0 +1,90 @@
+package simtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var c Clock
+	if c.Elapsed() != 0 {
+		t.Errorf("zero clock elapsed = %v, want 0", c.Elapsed())
+	}
+	c.Advance(time.Second)
+	if c.Elapsed() != time.Second {
+		t.Errorf("elapsed = %v, want 1s", c.Elapsed())
+	}
+}
+
+func TestAdvanceIgnoresNegative(t *testing.T) {
+	c := NewClock()
+	c.Advance(time.Second)
+	c.Advance(-time.Hour)
+	if c.Elapsed() != time.Second {
+		t.Errorf("elapsed = %v, want 1s", c.Elapsed())
+	}
+}
+
+func TestMeasureChargesScaledWallTime(t *testing.T) {
+	c := NewClock()
+	charged := c.Measure(10, func() { time.Sleep(5 * time.Millisecond) })
+	if charged < 50*time.Millisecond {
+		t.Errorf("charged = %v, want >= 50ms (10x slowdown of 5ms)", charged)
+	}
+	if c.Elapsed() != charged {
+		t.Errorf("clock = %v, charged = %v", c.Elapsed(), charged)
+	}
+}
+
+func TestMeasureZeroSlowdownChargesNothing(t *testing.T) {
+	c := NewClock()
+	if d := c.Measure(0, func() {}); d != 0 {
+		t.Errorf("charged = %v, want 0", d)
+	}
+}
+
+func TestSpan(t *testing.T) {
+	c := NewClock()
+	c.Advance(time.Minute)
+	s := c.StartSpan()
+	c.Advance(3 * time.Second)
+	if s.Elapsed() != 3*time.Second {
+		t.Errorf("span = %v, want 3s", s.Elapsed())
+	}
+}
+
+func TestConcurrentAdvance(t *testing.T) {
+	c := NewClock()
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Advance(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if want := 10 * time.Millisecond; c.Elapsed() != want {
+		t.Errorf("elapsed = %v, want %v", c.Elapsed(), want)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{836 * time.Microsecond, "836 µs"},
+		{1300 * time.Microsecond, "1300 µs"},
+		{725 * time.Millisecond, "725 ms"},
+		{18835 * time.Millisecond, "18.8 s"},
+	}
+	for _, tc := range cases {
+		if got := FormatDuration(tc.d); got != tc.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package siphash
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// refVectors holds the official SipHash-2-4 reference test vectors
+// (vectors_sip64 from the SipHash reference implementation): the MAC of the
+// message 00 01 02 ... (i-1) under the key 000102030405060708090a0b0c0d0e0f,
+// expressed as the 8 output bytes in order.
+var refVectors = []string{
+	"310e0edd47db6f72", "fd67dc93c539f874", "5a4fa9d909806c0d", "2d7efbd796666785",
+	"b7877127e09427cf", "8da699cd64557618", "cee3fe586e46c9cb", "37d1018bf50002ab",
+	"6224939a79f5f593", "b0e4a90bdf82009e", "f3b9dd94c5bb5d7a", "a7ad6b22462fb3f4",
+	"fbe50e86bc8f1e75", "903d84c02756ea14", "eef27a8e90ca23f7", "e545be4961ca29a1",
+	"db9bc2577fcc2a3f", "9447be2cf5e99a69", "9cd38d96f0b3c14b", "bd6179a71dc96dbb",
+	"98eea21af25cd6be", "c7673b2eb0cbf2d0", "883ea3e395675393", "c8ce5ccd8c030ca8",
+	"94af49f6c650adb8", "eab8858ade92e1bc", "f315bb5bb835d817", "adcf6b0763612e2f",
+	"a5c91da7acaa4dde", "716595876650a2a6", "28ef495c53a387ad", "42c341d8fa92d832",
+	"ce7cf2722f512771", "e37859f94623f3a7", "381205bb1ab0e012", "ae97a10fd434e015",
+	"b4a31508beff4d31", "81396229f0907902", "4d0cf49ee5d4dcca", "5c73336a76d8bf9a",
+	"d0a704536ba93e0e", "925958fcd6420cad", "a915c29bc8067318", "952b79f3bc0aa6d4",
+	"f21df2e41d4535f9", "87577519048f53a9", "10a56cf5dfcd9adb", "eb75095ccd986cd0",
+	"51a9cb9ecba312e6", "96afadfc2ce666c7", "72fe52975a4364ee", "5a1645b276d592a1",
+	"b274cb8ebf87870a", "6f9bb4203de7b381", "eaecb2a30b22a87f", "9924a43cc1315724",
+	"bd838d3aafbf8db7", "0b1a2a3265d51aea", "135079a3231ce660", "932b2846e4d70666",
+	"e1915f5cb1eca46c", "f325965ca16d629f", "575ff28e60381be5", "724506eb4c328a95",
+}
+
+func refKey() []byte {
+	key := make([]byte, KeySize)
+	for i := range key {
+		key[i] = byte(i)
+	}
+	return key
+}
+
+func TestReferenceVectors(t *testing.T) {
+	key := refKey()
+	for i, want := range refVectors {
+		msg := make([]byte, i)
+		for j := range msg {
+			msg[j] = byte(j)
+		}
+		got, err := Sum(key, msg)
+		if err != nil {
+			t.Fatalf("Sum(len=%d): %v", i, err)
+		}
+		if hex.EncodeToString(got) != want {
+			t.Errorf("vector %d: got %x, want %s", i, got, want)
+		}
+	}
+}
+
+func TestSumMatchesSum64(t *testing.T) {
+	key := refKey()
+	msg := []byte("salus attestation request")
+	b, err := Sum(key, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := binary.LittleEndian.Uint64(b), Sum64(key, msg); got != want {
+		t.Errorf("Sum bytes = %#x, Sum64 = %#x", got, want)
+	}
+}
+
+func TestBadKeySize(t *testing.T) {
+	if _, err := Sum(make([]byte, 15), nil); err != ErrKeySize {
+		t.Errorf("Sum with 15-byte key: err = %v, want ErrKeySize", err)
+	}
+	if Verify(make([]byte, 17), []byte("x"), 0) {
+		t.Error("Verify accepted a 17-byte key")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Sum64 with short key did not panic")
+		}
+	}()
+	Sum64(make([]byte, 8), nil)
+}
+
+func TestVerify(t *testing.T) {
+	key := refKey()
+	msg := []byte("register transaction 0x42")
+	mac := Sum64(key, msg)
+	if !Verify(key, msg, mac) {
+		t.Error("Verify rejected a valid MAC")
+	}
+	if Verify(key, msg, mac^1) {
+		t.Error("Verify accepted a corrupted MAC")
+	}
+	if Verify(key, append([]byte(nil), append(msg, 0)...), mac) {
+		t.Error("Verify accepted an extended message")
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	msg := []byte("same message")
+	k1 := refKey()
+	k2 := refKey()
+	k2[0] ^= 0x80
+	if Sum64(k1, msg) == Sum64(k2, msg) {
+		t.Error("flipping one key bit did not change the MAC")
+	}
+}
+
+// Property: distinct single-bit flips of the message virtually never
+// collide, and the MAC is a pure function of (key, msg).
+func TestPropertyDeterministicAndBitSensitive(t *testing.T) {
+	f := func(key [KeySize]byte, msg []byte) bool {
+		a := Sum64(key[:], msg)
+		b := Sum64(key[:], msg)
+		if a != b {
+			return false
+		}
+		if len(msg) == 0 {
+			return true
+		}
+		flipped := append([]byte(nil), msg...)
+		flipped[0] ^= 1
+		return Sum64(key[:], flipped) != a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSum64_8B(b *testing.B)   { benchSum(b, 8) }
+func BenchmarkSum64_64B(b *testing.B)  { benchSum(b, 64) }
+func BenchmarkSum64_1KiB(b *testing.B) { benchSum(b, 1024) }
+
+func benchSum(b *testing.B, n int) {
+	key := refKey()
+	msg := make([]byte, n)
+	b.SetBytes(int64(n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sum64(key, msg)
+	}
+}

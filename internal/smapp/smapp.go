@@ -1,0 +1,591 @@
+// Package smapp implements the Secure Manager (SM) enclave application
+// (§4.1, §5.2.2): the manufacturer-released, publicly inspectable enclave
+// that runs alongside the user enclave and performs every secure-booting
+// step that must happen out of the shell's and OS's sight —
+//
+//  1. answering the user enclave's local attestation and receiving the
+//     expected bitstream digest H and Loc_Keyattest over the established
+//     channel (Figure 3 ③);
+//  2. fetching Key_device from the manufacturer after being remotely
+//     attested (④);
+//  3. verifying the fetched CL bitstream against H, injecting a freshly
+//     generated Key_attest / Key_session / Ctr_session by bitstream
+//     manipulation, and encrypting the result under Key_device (⑤) —
+//     the manipulated plaintext bitstream never leaves the enclave;
+//  4. deploying through the (untrusted) shell (⑥) and attesting the loaded
+//     CL with the symmetric challenge/response of Figure 4a (⑦);
+//  5. afterwards, serving the user enclave's secure register transactions
+//     over the Key_session channel (§4.5).
+package smapp
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"salus/internal/bitman"
+	"salus/internal/bitstream"
+	"salus/internal/channel"
+	"salus/internal/cryptoutil"
+	"salus/internal/fpga"
+	"salus/internal/manufacturer"
+	"salus/internal/netlist"
+	"salus/internal/sgx"
+	"salus/internal/shell"
+	"salus/internal/simnet"
+	"salus/internal/simtime"
+	"salus/internal/smlogic"
+	"salus/internal/trace"
+)
+
+// Errors.
+var (
+	ErrNotAttested   = errors.New("smapp: CL not attested yet")
+	ErrNoChannel     = errors.New("smapp: no local attestation channel established")
+	ErrNoMetadata    = errors.New("smapp: bitstream metadata not received")
+	ErrNoDeviceKey   = errors.New("smapp: device key not fetched")
+	ErrDigest        = errors.New("smapp: bitstream digest mismatch")
+	ErrCLAttestation = errors.New("smapp: CL attestation failed")
+)
+
+// Image returns the canonical SM enclave image. It is versioned and
+// measured; the manufacturer whitelists exactly this measurement for key
+// distribution.
+func Image() sgx.EnclaveImage {
+	return sgx.EnclaveImage{
+		Name:    "salus-sm-app",
+		Version: 1,
+		Code:    []byte("salus secure manager enclave: LA responder, bitstream verify/manipulate/encrypt, CL attestation"),
+	}
+}
+
+// Metadata is what the data owner publishes about the expected CL: the
+// digest H of the developer's bitstream and the recorded location of the
+// SM logic's secrets cell (Loc_Keyattest). Neither is secret; both must be
+// integrity-protected in transit, which the RA/LA channels provide.
+type Metadata struct {
+	Digest [32]byte         `json:"digest"`
+	Loc    netlist.Location `json:"loc"`
+}
+
+// CLResult conveys the CL attestation outcome from the SM enclave to the
+// user enclave (Figure 4b, "CL Auth. Result").
+type CLResult struct {
+	Attested bool     `json:"attested"`
+	DNA      string   `json:"dna"`
+	Digest   [32]byte `json:"digest"`
+}
+
+// LAInit is the local attestation challenge from the user enclave: its own
+// measurement plus an ephemeral ECDH public key.
+type LAInit struct {
+	VerifierMeasurement sgx.Measurement
+	VerifierPub         []byte
+}
+
+// LAFinal is the SM enclave's response: an EREPORT toward the verifier
+// binding both ECDH keys, plus the responder's ephemeral public key.
+type LAFinal struct {
+	Report       sgx.Report
+	ResponderPub []byte
+}
+
+// LABinding computes the report data binding both ECDH public keys to the
+// local attestation, preventing key-swap in transit.
+func LABinding(verifierPub, responderPub []byte) [sgx.ReportDataSize]byte {
+	var out [sgx.ReportDataSize]byte
+	h := sha256.New()
+	h.Write([]byte("salus/la-binding"))
+	// Length-framed: X25519 keys are fixed-size in practice, but the
+	// binding must not rely on that.
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(verifierPub)))
+	h.Write(n[:])
+	h.Write(verifierPub)
+	binary.BigEndian.PutUint32(n[:], uint32(len(responderPub)))
+	h.Write(n[:])
+	h.Write(responderPub)
+	copy(out[:32], h.Sum(nil))
+	return out
+}
+
+// DeriveLAKey derives the post-attestation channel key both enclaves use.
+func DeriveLAKey(shared []byte) []byte {
+	return cryptoutil.DeriveKey(shared, "salus/la-channel", 32)
+}
+
+// KeyService is the manufacturer's key-distribution interface as the SM
+// enclave consumes it — satisfied by *manufacturer.Service directly and by
+// the RPC client in internal/remote.
+type KeyService interface {
+	RequestDeviceKey(quote sgx.Quote, dna fpga.DNA) (manufacturer.KeyResponse, error)
+}
+
+// Config assembles an SM application.
+type Config struct {
+	Platform     *sgx.Platform
+	Manufacturer KeyService
+	Shell        *shell.Shell
+	Partition    int // reconfigurable partition index (§4.7); default 0
+
+	// Timing (all optional; zero values mean "untimed").
+	Clock            *simtime.Clock
+	Trace            *trace.Log
+	ManufacturerLink simnet.Link
+	EnclaveSlowdown  float64 // in-enclave crypto penalty
+	ToolSlowdown     float64 // manipulation-toolchain-in-enclave penalty
+	QuoteGen         time.Duration
+	QuoteVerify      time.Duration
+}
+
+// SMApp is a running SM enclave application. Fields below the enclave
+// handle model in-enclave state: nothing outside the trust boundary reads
+// them (see the sgx package's modelling note).
+type SMApp struct {
+	cfg     Config
+	enclave *sgx.Enclave
+
+	mu         sync.Mutex
+	laKey      []byte
+	meta       *Metadata
+	deviceKey  []byte
+	keyAttest  []byte
+	keySession []byte
+	ctr        uint64
+	attested   bool
+}
+
+// New loads the SM enclave on the host platform.
+func New(cfg Config) (*SMApp, error) {
+	if cfg.Platform == nil {
+		return nil, fmt.Errorf("smapp: nil platform")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simtime.NewClock()
+	}
+	if cfg.Trace == nil {
+		cfg.Trace = trace.New()
+	}
+	if cfg.EnclaveSlowdown <= 0 {
+		cfg.EnclaveSlowdown = 1
+	}
+	if cfg.ToolSlowdown <= 0 {
+		cfg.ToolSlowdown = 1
+	}
+	return &SMApp{cfg: cfg, enclave: cfg.Platform.Load(Image())}, nil
+}
+
+// Measurement returns the SM enclave's MRENCLAVE.
+func (a *SMApp) Measurement() sgx.Measurement { return a.enclave.Measurement() }
+
+// Attested reports whether the CL has passed attestation.
+func (a *SMApp) Attested() bool { return a.attested }
+
+// measure runs fn as in-enclave compute and charges it to the named phase.
+func (a *SMApp) measure(p trace.Phase, slowdown float64, fn func()) {
+	d := a.cfg.Clock.Measure(slowdown, fn)
+	a.cfg.Trace.Record(p, d)
+}
+
+// measureBest charges the best of three runs of an idempotent heavy
+// operation — scaled measurements amplify scheduler noise otherwise.
+func (a *SMApp) measureBest(p trace.Phase, slowdown float64, fn func()) {
+	runs := 1
+	if slowdown > 4 {
+		runs = 3
+	}
+	d := a.cfg.Clock.MeasureBest(slowdown, runs, fn)
+	a.cfg.Trace.Record(p, d)
+}
+
+// charge records a modelled duration against a phase.
+func (a *SMApp) charge(p trace.Phase, d time.Duration) {
+	a.cfg.Clock.Advance(d)
+	a.cfg.Trace.Record(p, d)
+}
+
+// LocalAttestResponder answers a user-enclave local attestation: it
+// generates an ephemeral ECDH key, issues an EREPORT toward the verifier
+// binding both public keys, and derives the channel key. The SM enclave
+// answers any verifier — a rogue "user enclave" learns nothing secret, and
+// the cascaded attestation ensures a data owner only ever trusts reports
+// rooted in a *genuine* user enclave (§4.4.2).
+func (a *SMApp) LocalAttestResponder(init LAInit) (LAFinal, error) {
+	var final LAFinal
+	var err error
+	a.measure(trace.PhaseLocalAttest, a.cfg.EnclaveSlowdown, func() {
+		curve := ecdh.X25519()
+		var verifierPub *ecdh.PublicKey
+		verifierPub, err = curve.NewPublicKey(init.VerifierPub)
+		if err != nil {
+			err = fmt.Errorf("smapp: bad verifier key: %w", err)
+			return
+		}
+		var priv *ecdh.PrivateKey
+		priv, err = curve.GenerateKey(rand.Reader)
+		if err != nil {
+			return
+		}
+		var shared []byte
+		shared, err = priv.ECDH(verifierPub)
+		if err != nil {
+			return
+		}
+		var rep sgx.Report
+		rep, err = a.enclave.EReport(init.VerifierMeasurement, LABinding(init.VerifierPub, priv.PublicKey().Bytes()))
+		if err != nil {
+			return
+		}
+		a.laKey = DeriveLAKey(shared)
+		final = LAFinal{Report: rep, ResponderPub: priv.PublicKey().Bytes()}
+	})
+	return final, err
+}
+
+// ReceiveMetadata decrypts the digest H and Loc_Keyattest forwarded by the
+// user enclave over the LA channel (Figure 3 ③).
+func (a *SMApp) ReceiveMetadata(sealed []byte) error {
+	if a.laKey == nil {
+		return ErrNoChannel
+	}
+	pt, err := cryptoutil.Open(a.laKey, sealed, []byte("metadata"))
+	if err != nil {
+		return fmt.Errorf("smapp: metadata rejected: %w", err)
+	}
+	var md Metadata
+	if err := json.Unmarshal(pt, &md); err != nil {
+		return fmt.Errorf("smapp: metadata malformed: %w", err)
+	}
+	a.meta = &md
+	return nil
+}
+
+// SealMetadata is the sender-side helper (used inside the user enclave).
+func SealMetadata(laKey []byte, md Metadata) ([]byte, error) {
+	pt, err := json.Marshal(md)
+	if err != nil {
+		return nil, err
+	}
+	return cryptoutil.Seal(laKey, pt, []byte("metadata"))
+}
+
+// FetchDeviceKey runs Figure 3 ④: generate an ephemeral ECDH pair inside
+// the enclave, get remotely attested by the manufacturer (quote carries the
+// public key), and unseal Key_device from the response.
+func (a *SMApp) FetchDeviceKey() error {
+	if a.cfg.Manufacturer == nil || a.cfg.Shell == nil {
+		return fmt.Errorf("smapp: manufacturer or shell not configured")
+	}
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return err
+	}
+	var data [sgx.ReportDataSize]byte
+	copy(data[:32], priv.PublicKey().Bytes())
+
+	// Quote generation is dominated by the DCAP quoting-enclave round trip
+	// on real hardware; modelled as a constant.
+	var quote sgx.Quote
+	a.charge(trace.PhaseSMQuoteGen, a.cfg.QuoteGen)
+	a.measure(trace.PhaseSMQuoteGen, a.cfg.EnclaveSlowdown, func() {
+		quote = a.enclave.Quote(data)
+	})
+
+	// Request/response over the intra-cloud link; the server's quote
+	// verification (its own DCAP round) is modelled as a constant.
+	dna := a.cfg.Shell.DNA()
+	a.cfg.ManufacturerLink.RoundTrip(a.cfg.Clock, 1024, 256)
+	a.charge(trace.PhaseSMQuoteVerify, a.cfg.QuoteVerify)
+	resp, err := a.cfg.Manufacturer.RequestDeviceKey(quote, dna)
+	if err != nil {
+		return fmt.Errorf("smapp: key distribution: %w", err)
+	}
+	var key []byte
+	a.measure(trace.PhaseKeyDistribution, a.cfg.EnclaveSlowdown, func() {
+		key, err = manufacturer.OpenKeyResponse(priv, dna, resp)
+	})
+	if err != nil {
+		return fmt.Errorf("smapp: %w", err)
+	}
+	a.deviceKey = key
+	return nil
+}
+
+// DeployCL runs Figure 3 ⑤–⑥: verify the fetched bitstream against H,
+// inject freshly generated secrets at Loc_Keyattest, encrypt under
+// Key_device, and hand the ciphertext to the shell. Everything before the
+// shell hand-off happens on in-enclave plaintext.
+func (a *SMApp) DeployCL(encoded []byte) error {
+	switch {
+	case a.meta == nil:
+		return ErrNoMetadata
+	case a.deviceKey == nil:
+		return ErrNoDeviceKey
+	case a.cfg.Shell == nil:
+		return fmt.Errorf("smapp: no shell configured")
+	}
+
+	// ⑤a: bitstream verification against the digest from the user client.
+	var ok bool
+	a.measureBest(trace.PhaseBitVerifyEnc, a.cfg.EnclaveSlowdown, func() {
+		ok = cryptoutil.Digest(encoded) == a.meta.Digest
+	})
+	if !ok {
+		return ErrDigest
+	}
+
+	// ⑤b: manipulation — parse, inject fresh secrets, re-serialise. This is
+	// the RapidWright-under-Occlum path and dominates the boot time.
+	keyAttest := cryptoutil.RandomKey(cryptoutil.AttestKeySize)
+	keySession := cryptoutil.RandomKey(cryptoutil.SessionKeySize)
+	var ctrInit uint64
+	if err := binary.Read(rand.Reader, binary.BigEndian, &ctrInit); err != nil {
+		return err
+	}
+	ctrInit >>= 16 // leave headroom for a long session
+
+	var manipulated []byte
+	var err error
+	a.measureBest(trace.PhaseBitManipulation, a.cfg.ToolSlowdown, func() {
+		var tool *bitman.Tool
+		tool, err = bitman.Open(encoded)
+		if err != nil {
+			return
+		}
+		// Kerckhoff hardening: the reserved RoT cell must arrive zeroed.
+		// A developer-shipped bitstream with pre-initialised "secrets"
+		// would be a hidden, non-deployment-fresh key — refuse it.
+		var existing []byte
+		existing, err = tool.ReadCell(a.meta.Loc, 0, smlogic.SecretsSize)
+		if err != nil {
+			return
+		}
+		for _, b := range existing {
+			if b != 0 {
+				err = fmt.Errorf("smapp: reserved RoT cell %s is pre-initialised — refusing to deploy", a.meta.Loc.Path)
+				return
+			}
+		}
+		// Loc_Keyattest from the metadata locates the secrets cell; the
+		// layout within the cell is the HDK contract.
+		buf := make([]byte, smlogic.SecretsSize)
+		copy(buf[smlogic.OffKeyAttest:], keyAttest)
+		copy(buf[smlogic.OffKeySession:], keySession)
+		binary.BigEndian.PutUint64(buf[smlogic.OffCtrSession:], ctrInit)
+		if err = tool.Inject(a.meta.Loc, 0, buf); err != nil {
+			return
+		}
+		manipulated = tool.Serialize()
+	})
+	if err != nil {
+		return fmt.Errorf("smapp: manipulation: %w", err)
+	}
+
+	// ⑤c: encryption under Key_device.
+	var sealed []byte
+	a.measureBest(trace.PhaseBitVerifyEnc, a.cfg.EnclaveSlowdown, func() {
+		sealed, err = bitstream.Encrypt(manipulated, a.deviceKey, a.cfg.Shell.Device().Profile().Name)
+	})
+	if err != nil {
+		return fmt.Errorf("smapp: encryption: %w", err)
+	}
+
+	// ⑥: the shell loads the ciphertext; the FPGA decrypts internally.
+	span := a.cfg.Clock.StartSpan()
+	if err := a.cfg.Shell.LoadCLPartition(a.cfg.Partition, sealed); err != nil {
+		return fmt.Errorf("smapp: deployment: %w", err)
+	}
+	a.cfg.Trace.Record(trace.PhaseCLDeployment, span.Elapsed())
+
+	a.keyAttest = keyAttest
+	a.keySession = keySession
+	a.ctr = ctrInit
+	a.attested = false
+	return nil
+}
+
+// AttestCL runs the verifier side of Figure 4a over the untrusted shell:
+// fresh nonce, MAC over (N, DNA), verify the response MAC over (N+1, DNA').
+func (a *SMApp) AttestCL() error {
+	if a.keyAttest == nil {
+		return fmt.Errorf("smapp: no CL deployed")
+	}
+	var nonce uint64
+	if err := binary.Read(rand.Reader, binary.BigEndian, &nonce); err != nil {
+		return err
+	}
+	dna := string(a.cfg.Shell.DNA())
+
+	span := a.cfg.Clock.StartSpan()
+	req := channel.AttestRequest{Nonce: nonce, DNA: dna}
+	req.MAC = channel.AttestMACReq(a.keyAttest, req.Nonce, req.DNA)
+	respBytes, err := a.cfg.Shell.TransactPartition(a.cfg.Partition, req.Encode())
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCLAttestation, err)
+	}
+	defer func() { a.cfg.Trace.Record(trace.PhaseCLAuth, span.Elapsed()) }()
+
+	if msg, isErr := channel.DecodeError(respBytes); isErr {
+		return fmt.Errorf("%w: CL rejected challenge: %s", ErrCLAttestation, msg)
+	}
+	resp, err := channel.DecodeAttestResponse(respBytes)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCLAttestation, err)
+	}
+	if resp.Value != nonce+1 {
+		return fmt.Errorf("%w: wrong nonce echo", ErrCLAttestation)
+	}
+	if resp.DNA != dna {
+		return fmt.Errorf("%w: DNA mismatch: CL reports %q, CSP claimed %q", ErrCLAttestation, resp.DNA, dna)
+	}
+	if channel.AttestMACResp(a.keyAttest, resp.Value, resp.DNA) != resp.MAC {
+		return fmt.Errorf("%w: response MAC invalid", ErrCLAttestation)
+	}
+	a.attested = true
+	return nil
+}
+
+// Result seals the CL attestation outcome for the user enclave over the LA
+// channel (Figure 4b, "CL Auth. Result").
+func (a *SMApp) Result() ([]byte, error) {
+	if a.laKey == nil {
+		return nil, ErrNoChannel
+	}
+	if a.meta == nil {
+		return nil, ErrNoMetadata
+	}
+	res := CLResult{Attested: a.attested, DNA: string(a.cfg.Shell.DNA()), Digest: a.meta.Digest}
+	pt, err := json.Marshal(res)
+	if err != nil {
+		return nil, err
+	}
+	return cryptoutil.Seal(a.laKey, pt, []byte("cl-result"))
+}
+
+// OpenResult is the user-enclave-side helper decrypting a Result payload.
+func OpenResult(laKey, sealed []byte) (CLResult, error) {
+	pt, err := cryptoutil.Open(laKey, sealed, []byte("cl-result"))
+	if err != nil {
+		return CLResult{}, fmt.Errorf("smapp: result rejected: %w", err)
+	}
+	var res CLResult
+	if err := json.Unmarshal(pt, &res); err != nil {
+		return CLResult{}, fmt.Errorf("smapp: result malformed: %w", err)
+	}
+	return res, nil
+}
+
+// SecureReg forwards one register transaction over the Key_session channel
+// (§4.5): seal, transact through the shell, open the response under the
+// same counter, advance.
+func (a *SMApp) SecureReg(txn channel.RegTxn) (channel.RegResult, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.attested {
+		return channel.RegResult{}, ErrNotAttested
+	}
+	frame, err := channel.SealRegRequest(a.keySession, a.ctr, txn)
+	if err != nil {
+		return channel.RegResult{}, err
+	}
+	respBytes, err := a.cfg.Shell.TransactPartition(a.cfg.Partition, frame)
+	if err != nil {
+		return channel.RegResult{}, err
+	}
+	if msg, isErr := channel.DecodeError(respBytes); isErr {
+		return channel.RegResult{}, fmt.Errorf("smapp: CL rejected secure register frame: %s", msg)
+	}
+	res, err := channel.OpenRegResponse(a.keySession, a.ctr, respBytes)
+	if err != nil {
+		return channel.RegResult{}, fmt.Errorf("smapp: secure response rejected: %w", err)
+	}
+	a.ctr++
+	return res, nil
+}
+
+// RekeySession rotates the register channel's Key_session and Ctr_session:
+// a fresh key and counter epoch, installed through the authenticated
+// channel itself. Rotation invalidates every frame an observer recorded
+// under the old epoch — the antidote to the bitstream-replay residue the
+// runtime-attack tests document.
+func (a *SMApp) RekeySession() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.attested {
+		return ErrNotAttested
+	}
+	newKey := cryptoutil.RandomKey(cryptoutil.SessionKeySize)
+	var newCtr uint64
+	if err := binary.Read(rand.Reader, binary.BigEndian, &newCtr); err != nil {
+		return err
+	}
+	newCtr >>= 16
+	frame, err := channel.SealRekeyRequest(a.keySession, a.ctr, newKey, newCtr)
+	if err != nil {
+		return err
+	}
+	respBytes, err := a.cfg.Shell.TransactPartition(a.cfg.Partition, frame)
+	if err != nil {
+		return err
+	}
+	if msg, isErr := channel.DecodeError(respBytes); isErr {
+		return fmt.Errorf("smapp: rekey rejected by CL: %s", msg)
+	}
+	if err := channel.OpenRekeyResponse(a.keySession, a.ctr, respBytes); err != nil {
+		return fmt.Errorf("smapp: rekey ack rejected: %w", err)
+	}
+	a.keySession = newKey
+	a.ctr = newCtr
+	return nil
+}
+
+// DNA reports the device identity as the shell claims it.
+func (a *SMApp) DNA() fpga.DNA { return a.cfg.Shell.DNA() }
+
+// LocalAttestInitiator runs the verifier side of a local attestation
+// against another SM application (the §4.7 master → slave-agent hand-off)
+// and returns the initiator's copy of the derived channel key.
+func (a *SMApp) LocalAttestInitiator(responder *SMApp) ([]byte, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	init := LAInit{VerifierMeasurement: a.enclave.Measurement(), VerifierPub: priv.PublicKey().Bytes()}
+	final, err := responder.LocalAttestResponder(init)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.enclave.VerifyReport(final.Report); err != nil {
+		return nil, fmt.Errorf("smapp: agent report: %w", err)
+	}
+	if final.Report.ReportData != LABinding(init.VerifierPub, final.ResponderPub) {
+		return nil, fmt.Errorf("smapp: agent key binding mismatch")
+	}
+	pub, err := ecdh.X25519().NewPublicKey(final.ResponderPub)
+	if err != nil {
+		return nil, err
+	}
+	shared, err := priv.ECDH(pub)
+	if err != nil {
+		return nil, err
+	}
+	return DeriveLAKey(shared), nil
+}
+
+// AdoptDeviceKeyFrom hands the master SM enclave's fetched device key to a
+// slave SM agent serving another reconfigurable partition (§4.7). Both run
+// in the same enclave trust domain, so the hand-off never crosses the
+// boundary; it just avoids a second manufacturer round trip.
+func (a *SMApp) AdoptDeviceKeyFrom(master *SMApp) error {
+	if master.deviceKey == nil {
+		return ErrNoDeviceKey
+	}
+	a.deviceKey = append([]byte(nil), master.deviceKey...)
+	return nil
+}

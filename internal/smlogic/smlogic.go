@@ -1,0 +1,348 @@
+// Package smlogic models the Secure Manager (SM) logic of Figure 5: the
+// hardware module the developer integrates into every CL next to the
+// accelerator. It holds the injected secrets (Key_attest, Key_session,
+// Ctr_session) in an isolated on-chip BRAM whose interface is never exposed
+// outside the module, answers the CL attestation challenge with its SipHash
+// engine, and transparently protects the accelerator's sensitive register
+// interface with the AES engine and session counter (§5.1.1, §4.5).
+//
+// The module is released as part of the HDK: it contains no hardcoded
+// secrets — everything secret arrives via bitstream manipulation at
+// deployment time — so the codebase stays compact and inspectable.
+package smlogic
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"salus/internal/accel"
+	"salus/internal/bitstream"
+	"salus/internal/channel"
+	"salus/internal/fpga"
+	"salus/internal/netlist"
+)
+
+// ModuleName is the SM logic's instance name inside every CL design.
+const ModuleName = "salus_sm"
+
+// SecretsCellName is the reserved BRAM cell holding the injected secrets.
+const SecretsCellName = "secrets"
+
+// SecretsCellPath is the hierarchical path recorded as Loc_Keyattest.
+const SecretsCellPath = ModuleName + "/" + SecretsCellName
+
+// Byte layout of the secrets BRAM.
+const (
+	OffKeyAttest  = 0  // 16 bytes
+	OffKeySession = 16 // 16 bytes
+	OffCtrSession = 32 // 8 bytes, big-endian
+	SecretsSize   = 40
+)
+
+// Module returns the SM logic's synthesised footprint — the Table 5 row
+// (27667 LUTs, 29631 registers, 88 BRAMs), identical across all benchmarks
+// because the logic is general.
+func Module() netlist.ModuleSpec {
+	return netlist.ModuleSpec{
+		Name: ModuleName,
+		Res:  netlist.Resources{LUT: 27667, Register: 29631, BRAM: 88},
+		Cells: []netlist.BRAMCell{
+			{Name: SecretsCellName},
+			{Name: "txn_fifo"},
+		},
+	}
+}
+
+// LogicID returns the fabric identity of a CL that bundles the SM logic
+// with the given kernel.
+func LogicID(k accel.Kernel) string { return "salus-cl/" + k.Name() }
+
+// ProtectedLogicID identifies the CL variant whose accelerator additionally
+// integrates a memory integrity tree (the §3.1 attack-2 defence; see
+// internal/merkle). The developer picks it by building the design with this
+// identity instead of LogicID.
+func ProtectedLogicID(k accel.Kernel) string { return "salus-cl-bmt/" + k.Name() }
+
+// Integrate combines the developer's accelerator module with the SM logic
+// into one CL design, as the development flow of §4.2 prescribes.
+func Integrate(designName string, accelMod netlist.ModuleSpec) (*netlist.Design, error) {
+	d := &netlist.Design{Name: designName, Modules: []netlist.ModuleSpec{accelMod, Module()}}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("smlogic: integrate: %w", err)
+	}
+	return d, nil
+}
+
+// ValidateDesign is the HDK lint pass a developer runs before shipping a
+// CL: the SM logic must be integrated exactly once and unmodified (the
+// manufacturer whitelists only the released module), the reserved secrets
+// cell must exist, and the combined design must fit the target partition.
+func ValidateDesign(d *netlist.Design, profile netlist.DeviceProfile) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	var sm *netlist.ModuleSpec
+	for i := range d.Modules {
+		if d.Modules[i].Name == ModuleName {
+			if sm != nil {
+				return fmt.Errorf("smlogic: design %s integrates the SM logic twice", d.Name)
+			}
+			sm = &d.Modules[i]
+		}
+	}
+	if sm == nil {
+		return fmt.Errorf("smlogic: design %s does not integrate the SM logic", d.Name)
+	}
+	want := Module()
+	if sm.Res != want.Res {
+		return fmt.Errorf("smlogic: design %s ships a modified SM logic (%v, released %v)", d.Name, sm.Res, want.Res)
+	}
+	hasSecrets := false
+	for _, c := range sm.Cells {
+		if c.Name == SecretsCellName {
+			hasSecrets = true
+			if len(c.Init) != 0 {
+				return fmt.Errorf("smlogic: design %s pre-initialises the secrets cell — the RoT must be injected at deployment", d.Name)
+			}
+		}
+	}
+	if !hasSecrets {
+		return fmt.Errorf("smlogic: design %s lacks the reserved %s cell", d.Name, SecretsCellPath)
+	}
+	if !d.Resources().Fits(profile.RPResources) {
+		return fmt.Errorf("smlogic: design %s (%v) exceeds %s partition budget (%v)",
+			d.Name, d.Resources(), profile.Name, profile.RPResources)
+	}
+	return nil
+}
+
+func init() {
+	// The HDK ships one SM-logic wrapper per benchmark kernel — plus the
+	// memory-integrity-protected variant; loading a bitstream with the
+	// matching identity instantiates it.
+	for _, k := range accel.Kernels() {
+		k := k
+		fpga.RegisterLogic(LogicID(k), newFactory(k, false))
+		fpga.RegisterLogic(ProtectedLogicID(k), newFactory(k, true))
+	}
+}
+
+// NewFactory returns the fpga.CLFactory instantiating the SM logic wrapped
+// around the given kernel. The secrets are read from the freshly programmed
+// configuration memory — i.e. from whatever the loaded bitstream carried.
+func NewFactory(k accel.Kernel) fpga.CLFactory { return newFactory(k, false) }
+
+func newFactory(k accel.Kernel, protected bool) fpga.CLFactory {
+	return func(cfg fpga.CLConfig) (fpga.CL, error) {
+		loc, ok := cfg.Image.Cell(SecretsCellPath)
+		if !ok {
+			return nil, fmt.Errorf("smlogic: bitstream has no %s cell", SecretsCellPath)
+		}
+		sec, err := cfg.Image.CellBytes(loc, 0, SecretsSize)
+		if err != nil {
+			return nil, fmt.Errorf("smlogic: reading secrets: %w", err)
+		}
+		id := LogicID(k)
+		var core accel.Device
+		if protected {
+			id = ProtectedLogicID(k)
+			pc, err := accel.NewProtectedCore(k)
+			if err != nil {
+				return nil, fmt.Errorf("smlogic: %w", err)
+			}
+			core = pc
+		} else {
+			core = accel.NewCore(k)
+		}
+		return &Logic{
+			logicID:    id,
+			dna:        cfg.DNA,
+			keyAttest:  append([]byte(nil), sec[OffKeyAttest:OffKeyAttest+16]...),
+			keySession: append([]byte(nil), sec[OffKeySession:OffKeySession+16]...),
+			nextCtr:    binary.BigEndian.Uint64(sec[OffCtrSession:]),
+			accel:      core,
+		}, nil
+	}
+}
+
+// Logic is the instantiated SM logic plus its attached accelerator: one
+// loaded CL. It implements fpga.CL.
+type Logic struct {
+	logicID    string
+	dna        fpga.DNA
+	keyAttest  []byte
+	keySession []byte
+
+	mu      sync.Mutex
+	nextCtr uint64
+	accel   accel.Device
+}
+
+// LogicID implements fpga.CL.
+func (l *Logic) LogicID() string { return l.logicID }
+
+// AccelName returns the wrapped accelerator's name.
+func (l *Logic) AccelName() string { return l.accel.Name() }
+
+// HandleTransaction implements fpga.CL: it dispatches one PCIe transaction.
+// Protocol failures (bad MAC, replay, bad register) come back as MsgError
+// frames — the bus delivered the message; the *content* was rejected.
+func (l *Logic) HandleTransaction(req []byte) ([]byte, error) {
+	switch channel.MsgType(req) {
+	case channel.MsgAttestReq:
+		return l.handleAttest(req), nil
+	case channel.MsgSecureReg:
+		return l.handleSecureReg(req), nil
+	case channel.MsgRekey:
+		return l.handleRekey(req), nil
+	case channel.MsgDirectReg:
+		return l.handleDirectReg(req), nil
+	case channel.MsgMemWrite:
+		return l.handleMemWrite(req), nil
+	case channel.MsgMemRead:
+		return l.handleMemRead(req), nil
+	default:
+		return channel.EncodeError(fmt.Sprintf("smlogic: unknown message type %#x", channel.MsgType(req))), nil
+	}
+}
+
+// handleAttest is the prover side of Figure 4a: verify MAC_req with the
+// local Key'_attest and DNA', then answer with MAC_rsp over (N+1, DNA').
+func (l *Logic) handleAttest(req []byte) []byte {
+	r, err := channel.DecodeAttestRequest(req)
+	if err != nil {
+		return channel.EncodeError("smlogic: malformed attestation request")
+	}
+	// Verifying against the *local* DNA both authenticates the request and
+	// confirms the CSP pointed the host at the right physical device.
+	if channel.AttestMACReq(l.keyAttest, r.Nonce, string(l.dna)) != r.MAC {
+		return channel.EncodeError("smlogic: attestation request MAC mismatch")
+	}
+	resp := channel.AttestResponse{Value: r.Nonce + 1, DNA: string(l.dna)}
+	resp.MAC = channel.AttestMACResp(l.keyAttest, resp.Value, resp.DNA)
+	return resp.Encode()
+}
+
+// handleSecureReg is the transparent register protection path: decrypt,
+// verify, forward to the accelerator, and encrypt the response under the
+// same session counter.
+func (l *Logic) handleSecureReg(req []byte) []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	txn, err := channel.OpenRegRequest(l.keySession, l.nextCtr, req)
+	if err != nil {
+		return channel.EncodeError("smlogic: secure register frame rejected: " + err.Error())
+	}
+	res := l.execReg(txn)
+	frame, err := channel.SealRegResponse(l.keySession, l.nextCtr, res)
+	if err != nil {
+		return channel.EncodeError("smlogic: sealing response failed")
+	}
+	l.nextCtr++
+	return frame
+}
+
+// handleRekey rotates Key_session and Ctr_session on the SM enclave's
+// authenticated request: verify under the current key, acknowledge under
+// the current key, then switch — a fresh session epoch that also invalidates
+// every previously recorded frame.
+func (l *Logic) handleRekey(req []byte) []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	newKey, newCtr, err := channel.OpenRekeyRequest(l.keySession, l.nextCtr, req)
+	if err != nil {
+		return channel.EncodeError("smlogic: rekey rejected: " + err.Error())
+	}
+	resp, err := channel.SealRekeyResponse(l.keySession, l.nextCtr)
+	if err != nil {
+		return channel.EncodeError("smlogic: rekey ack failed")
+	}
+	l.keySession = append([]byte(nil), newKey...)
+	l.nextCtr = newCtr
+	return resp
+}
+
+// handleDirectReg is the direct, unprotected register path. The key and IV
+// registers are only wired through the secure port: hardware physically
+// refuses them here, so a malicious shell can neither overwrite nor probe
+// the data key.
+func (l *Logic) handleDirectReg(req []byte) []byte {
+	txn, err := channel.DecodeDirectReg(req)
+	if err != nil {
+		return channel.EncodeError("smlogic: malformed direct register frame")
+	}
+	if isProtectedReg(txn.Addr) {
+		return channel.EncodeError("smlogic: register reachable only via secure channel")
+	}
+	l.mu.Lock()
+	res := l.execReg(txn)
+	l.mu.Unlock()
+	return channel.EncodeDirectResp(res)
+}
+
+func isProtectedReg(addr uint32) bool {
+	switch addr {
+	case accel.RegKey0, accel.RegKey1, accel.RegIV0, accel.RegIV1:
+		return true
+	}
+	return false
+}
+
+// execReg forwards a register transaction to the accelerator; callers hold
+// l.mu.
+func (l *Logic) execReg(txn channel.RegTxn) channel.RegResult {
+	if txn.Write {
+		if err := l.accel.WriteReg(txn.Addr, txn.Data); err != nil {
+			return channel.RegResult{}
+		}
+		return channel.RegResult{Data: txn.Data, OK: true}
+	}
+	v, err := l.accel.ReadReg(txn.Addr)
+	if err != nil {
+		return channel.RegResult{}
+	}
+	return channel.RegResult{Data: v, OK: true}
+}
+
+func (l *Logic) handleMemWrite(req []byte) []byte {
+	m, err := channel.DecodeMemWrite(req)
+	if err != nil {
+		return channel.EncodeError("smlogic: malformed DMA write")
+	}
+	if err := l.accel.WriteMem(m.Addr, m.Data); err != nil {
+		return channel.EncodeError("smlogic: " + err.Error())
+	}
+	return channel.EncodeMemData(nil) // empty ack
+}
+
+func (l *Logic) handleMemRead(req []byte) []byte {
+	m, err := channel.DecodeMemRead(req)
+	if err != nil {
+		return channel.EncodeError("smlogic: malformed DMA read")
+	}
+	data, err := l.accel.ReadMem(m.Addr, int(m.N))
+	if err != nil {
+		return channel.EncodeError("smlogic: " + err.Error())
+	}
+	return channel.EncodeMemData(data)
+}
+
+// InjectSecrets writes the three secrets into an image's reserved cell in
+// the canonical layout — the byte-level contract between the SM enclave's
+// bitstream manipulation and this module. It lives here so both sides share
+// one definition.
+func InjectSecrets(im *bitstream.Image, keyAttest, keySession []byte, ctrSession uint64) error {
+	if len(keyAttest) != 16 || len(keySession) != 16 {
+		return fmt.Errorf("smlogic: keys must be 16 bytes")
+	}
+	loc, ok := im.Cell(SecretsCellPath)
+	if !ok {
+		return fmt.Errorf("smlogic: bitstream has no %s cell", SecretsCellPath)
+	}
+	buf := make([]byte, SecretsSize)
+	copy(buf[OffKeyAttest:], keyAttest)
+	copy(buf[OffKeySession:], keySession)
+	binary.BigEndian.PutUint64(buf[OffCtrSession:], ctrSession)
+	return im.SetCellBytes(loc, 0, buf)
+}

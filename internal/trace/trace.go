@@ -1,0 +1,145 @@
+// Package trace records phase-stamped durations during the Salus secure
+// boot flow so the Figure 9 booting-time breakdown can be regenerated.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Phase identifies one segment of the CL booting timeline. The names match
+// the legend of Figure 9 in the paper.
+type Phase string
+
+// Boot phases, in the order they appear in the paper's stacked bars.
+const (
+	PhaseSMQuoteGen      Phase = "SM Enclv. Quote Gen."
+	PhaseSMQuoteVerify   Phase = "SM Enclv. Quote Verif."
+	PhaseBitVerifyEnc    Phase = "Bitstream Verif. & Enc."
+	PhaseBitManipulation Phase = "Bitstream Manipulation"
+	PhaseUserQuoteGen    Phase = "User Enclv. Quote Gen."
+	PhaseUserQuoteVerify Phase = "User Enclv. Quote Verif."
+	PhaseLocalAttest     Phase = "Local Attestation"
+	PhaseKeyDistribution Phase = "Device Key Dist."
+	PhaseCLDeployment    Phase = "CL Deployment"
+	PhaseCLAuth          Phase = "CL Authentication"
+	PhaseUserRA          Phase = "User RA"
+	PhaseNetwork         Phase = "Network Transfer"
+)
+
+// Sample is one recorded duration for a phase.
+type Sample struct {
+	Phase Phase
+	D     time.Duration
+}
+
+// Log accumulates phase samples. The zero value is ready to use and safe
+// for concurrent recording.
+type Log struct {
+	mu      sync.Mutex
+	samples []Sample
+}
+
+// New returns an empty log.
+func New() *Log { return &Log{} }
+
+// Record appends a sample for the phase.
+func (l *Log) Record(p Phase, d time.Duration) {
+	l.mu.Lock()
+	l.samples = append(l.samples, Sample{Phase: p, D: d})
+	l.mu.Unlock()
+}
+
+// Samples returns a copy of all samples in recording order.
+func (l *Log) Samples() []Sample {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Sample, len(l.samples))
+	copy(out, l.samples)
+	return out
+}
+
+// Total returns the sum of all recorded durations.
+func (l *Log) Total() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var t time.Duration
+	for _, s := range l.samples {
+		t += s.D
+	}
+	return t
+}
+
+// PhaseTotal returns the sum of durations recorded for the phase.
+func (l *Log) PhaseTotal(p Phase) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var t time.Duration
+	for _, s := range l.samples {
+		if s.Phase == p {
+			t += s.D
+		}
+	}
+	return t
+}
+
+// Breakdown aggregates samples per phase, ordered by descending total.
+func (l *Log) Breakdown() []Sample {
+	l.mu.Lock()
+	agg := make(map[Phase]time.Duration)
+	order := make([]Phase, 0)
+	for _, s := range l.samples {
+		if _, ok := agg[s.Phase]; !ok {
+			order = append(order, s.Phase)
+		}
+		agg[s.Phase] += s.D
+	}
+	l.mu.Unlock()
+
+	out := make([]Sample, 0, len(order))
+	for _, p := range order {
+		out = append(out, Sample{Phase: p, D: agg[p]})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].D > out[j].D })
+	return out
+}
+
+// WriteCSV emits the per-phase breakdown as CSV (phase, microseconds,
+// share) for downstream plotting of the Figure 9 bars.
+func (l *Log) WriteCSV(w io.Writer) error {
+	total := l.Total()
+	if _, err := fmt.Fprintln(w, "phase,us,share"); err != nil {
+		return err
+	}
+	for _, s := range l.Breakdown() {
+		share := 0.0
+		if total > 0 {
+			share = float64(s.D) / float64(total)
+		}
+		if _, err := fmt.Fprintf(w, "%q,%d,%.4f\n", s.Phase, s.D.Microseconds(), share); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the breakdown as an aligned table with percentages,
+// suitable for terminal output next to the paper's Figure 9.
+func (l *Log) String() string {
+	total := l.Total()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %12s %7s\n", "Phase", "Time", "Share")
+	for _, s := range l.Breakdown() {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(s.D) / float64(total)
+		}
+		fmt.Fprintf(&b, "%-28s %12s %6.1f%%\n", s.Phase, s.D.Round(time.Microsecond), pct)
+	}
+	fmt.Fprintf(&b, "%-28s %12s\n", "TOTAL", total.Round(time.Microsecond))
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var l Log
+	if l.Total() != 0 {
+		t.Error("empty log has nonzero total")
+	}
+	l.Record(PhaseCLAuth, time.Millisecond)
+	if l.Total() != time.Millisecond {
+		t.Errorf("total = %v", l.Total())
+	}
+}
+
+func TestPhaseTotalAggregates(t *testing.T) {
+	l := New()
+	l.Record(PhaseBitManipulation, 10*time.Second)
+	l.Record(PhaseBitManipulation, 3*time.Second)
+	l.Record(PhaseUserRA, 2*time.Second)
+	if got := l.PhaseTotal(PhaseBitManipulation); got != 13*time.Second {
+		t.Errorf("PhaseTotal = %v, want 13s", got)
+	}
+	if got := l.Total(); got != 15*time.Second {
+		t.Errorf("Total = %v, want 15s", got)
+	}
+}
+
+func TestBreakdownOrderedByDuration(t *testing.T) {
+	l := New()
+	l.Record(PhaseUserRA, 2*time.Second)
+	l.Record(PhaseBitManipulation, 13*time.Second)
+	l.Record(PhaseLocalAttest, 836*time.Microsecond)
+	b := l.Breakdown()
+	if len(b) != 3 {
+		t.Fatalf("breakdown has %d entries, want 3", len(b))
+	}
+	if b[0].Phase != PhaseBitManipulation || b[2].Phase != PhaseLocalAttest {
+		t.Errorf("breakdown order wrong: %v", b)
+	}
+}
+
+func TestSamplesReturnsCopy(t *testing.T) {
+	l := New()
+	l.Record(PhaseCLAuth, time.Millisecond)
+	s := l.Samples()
+	s[0].D = time.Hour
+	if l.Total() != time.Millisecond {
+		t.Error("mutating Samples() result affected the log")
+	}
+}
+
+func TestStringContainsPhasesAndTotal(t *testing.T) {
+	l := New()
+	l.Record(PhaseBitManipulation, 13*time.Second)
+	l.Record(PhaseUserRA, 2*time.Second)
+	out := l.String()
+	for _, want := range []string{"Bitstream Manipulation", "User RA", "TOTAL", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	l := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.Record(PhaseNetwork, time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	if got := l.PhaseTotal(PhaseNetwork); got != 50*time.Millisecond {
+		t.Errorf("total = %v, want 50ms", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	l := New()
+	l.Record(PhaseBitManipulation, 13*time.Second)
+	l.Record(PhaseUserRA, 2*time.Second)
+	var b strings.Builder
+	if err := l.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"phase,us,share", "Bitstream Manipulation", "13000000", "0.8667"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
