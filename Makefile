@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test vet race tier1 bench bench-sched clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full race-detector sweep: vet first so obvious mistakes fail fast.
+race:
+	$(GO) vet ./... && $(GO) test -race ./...
+
+# The roadmap's tier-1 gate, plus the concurrency-sensitive packages
+# (scheduler, core job path) under the race detector.
+tier1:
+	$(GO) build ./... && $(GO) test ./...
+	$(GO) test -race ./internal/sched ./internal/core
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Multi-device scheduler throughput (serial baseline vs 1/2/4 devices).
+bench-sched:
+	$(GO) test -run xxx -bench SchedulerThroughput -benchtime 100x .
+
+clean:
+	$(GO) clean ./...

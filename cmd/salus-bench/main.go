@@ -10,17 +10,28 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"salus"
 	"salus/internal/accel"
+	"salus/internal/core"
+	"salus/internal/fpga"
 	"salus/internal/perfmodel"
+	"salus/internal/sched"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("salus-bench: ")
 	measure := flag.Bool("measure", false, "also run the real kernels with real traffic encryption")
+	schedDevs := flag.Int("sched", 0, "also benchmark the job scheduler over N simulated devices (0 = skip)")
+	schedJobs := flag.Int("jobs", 64, "jobs per scheduler benchmark run")
 	flag.Parse()
+
+	if *schedDevs > 0 {
+		benchScheduler(*schedDevs, *schedJobs)
+		return
+	}
 
 	c := salus.DefaultPerfConstants()
 
@@ -55,4 +66,72 @@ func main() {
 		fmt.Printf("%-14s %14v %14v %8.2fx\n", k.Name(), plain.Round(10e3), tee.Round(10e3),
 			float64(tee)/float64(plain))
 	}
+}
+
+// benchScheduler compares a serial RunJob loop on one device against the
+// scheduler fanning the same jobs across n devices, all with session reuse.
+func benchScheduler(n, jobs int) {
+	// Model the ~2 ms the host spends idle-blocked on a physical board per
+	// job; overlapping that wait across boards is the scheduler's win.
+	timing := salus.FastTiming()
+	timing.RealJobLatency = 2 * time.Millisecond
+	newPool := func(size int) []*core.System {
+		systems := make([]*core.System, size)
+		for i := range systems {
+			sys, err := core.NewSystem(core.SystemConfig{
+				Kernel: accel.Conv{},
+				Seed:   int64(700 + i),
+				DNA:    fpga.DNA(fmt.Sprintf("BENCH-%02d", i)),
+				Timing: timing,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			systems[i] = sys
+		}
+		if _, err := sched.BootShared(systems); err != nil {
+			log.Fatal(err)
+		}
+		return systems
+	}
+	workload := func(i int) accel.Workload { return accel.GenConv(16, 16, 4, int64(i)) }
+
+	// Serial baseline: one device, one job at a time.
+	serial := newPool(1)[0]
+	start := time.Now()
+	for i := 0; i < jobs; i++ {
+		if _, err := serial.RunJob(workload(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	serialRate := float64(jobs) / time.Since(start).Seconds()
+
+	// Scheduler: the same jobs over n devices.
+	s := sched.New(sched.Config{})
+	for _, sys := range newPool(n) {
+		if err := s.Register(sys); err != nil {
+			log.Fatal(err)
+		}
+	}
+	start = time.Now()
+	futs := make([]*sched.Future, jobs)
+	for i := range futs {
+		futs[i] = s.Submit(workload(i))
+	}
+	for i, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			log.Fatalf("job %d: %v", i, err)
+		}
+	}
+	schedRate := float64(jobs) / time.Since(start).Seconds()
+	s.Close()
+
+	fmt.Printf("Scheduler throughput — %d jobs, Conv 16x16x4, session reuse enabled\n\n", jobs)
+	fmt.Printf("%-24s %12s\n", "configuration", "jobs/sec")
+	fmt.Printf("%-24s %12.1f\n", "serial, 1 device", serialRate)
+	noun := "devices"
+	if n == 1 {
+		noun = "device"
+	}
+	fmt.Printf("%-24s %12.1f   (%.2fx)\n", fmt.Sprintf("scheduler, %d %s", n, noun), schedRate, schedRate/serialRate)
 }

@@ -3,8 +3,14 @@
 // (boot / provision / jobs), with the instance's SM enclave fetching the
 // device key over TCP — the deployment topology of §6.1, on localhost.
 //
+// With -devices N (N > 1) it hosts a device pool instead: N independently
+// manufactured FPGAs behind one cluster gateway and a job scheduler. The
+// data owner attests every device, provisions one shared data key, and
+// sealed jobs fan out to the least-loaded board.
+//
 // It writes the data owner's expectations (measurements, digest H, DNA,
 // root) to -exp so cmd/salus-client can verify the platform from "outside".
+// In cluster mode the file holds a JSON array, one entry per device.
 package main
 
 import (
@@ -16,9 +22,12 @@ import (
 	"os/signal"
 
 	"salus"
+	"salus/internal/client"
 	"salus/internal/core"
+	"salus/internal/fpga"
 	"salus/internal/manufacturer"
 	"salus/internal/remote"
+	"salus/internal/sched"
 )
 
 func main() {
@@ -26,13 +35,17 @@ func main() {
 	log.SetPrefix("salus-server: ")
 	kernel := flag.String("kernel", "Conv", "benchmark kernel to deploy")
 	mfrAddr := flag.String("mfr", "127.0.0.1:7001", "manufacturer service address")
-	instAddr := flag.String("inst", "127.0.0.1:7002", "instance gateway address")
+	instAddr := flag.String("inst", "127.0.0.1:7002", "instance / cluster gateway address")
 	expPath := flag.String("exp", "salus-expectations.json", "where to write the data owner's expectations")
+	devices := flag.Int("devices", 1, "number of FPGA devices; >1 serves a cluster gateway with a job scheduler")
 	flag.Parse()
 
 	k, ok := salus.KernelByName(*kernel)
 	if !ok {
 		log.Fatalf("unknown kernel %q", *kernel)
+	}
+	if *devices < 1 {
+		log.Fatalf("-devices must be >= 1, got %d", *devices)
 	}
 
 	mfr, err := manufacturer.New()
@@ -52,32 +65,62 @@ func main() {
 	}
 	defer kc.Close()
 
-	sys, err := core.NewSystem(core.SystemConfig{
-		Kernel:       k,
-		Manufacturer: mfr,
-		KeyService:   kc,
-		Timing:       salus.FastTiming(),
-	})
-	if err != nil {
-		log.Fatal(err)
+	newSystem := func(dna fpga.DNA) *core.System {
+		sys, err := core.NewSystem(core.SystemConfig{
+			Kernel:       k,
+			DNA:          dna,
+			Manufacturer: mfr,
+			KeyService:   kc,
+			Timing:       salus.FastTiming(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sys
 	}
-	instSrv, instBound, err := remote.ServeInstance(sys, *instAddr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer instSrv.Close()
-	fmt.Println("instance gateway:   ", instBound)
 
-	expJSON, err := json.MarshalIndent(sys.Expectations(), "", "  ")
-	if err != nil {
-		log.Fatal(err)
+	var expJSON []byte
+	if *devices == 1 {
+		sys := newSystem("")
+		instSrv, instBound, err := remote.ServeInstance(sys, *instAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer instSrv.Close()
+		fmt.Println("instance gateway:   ", instBound)
+		expJSON, err = json.MarshalIndent(sys.Expectations(), "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("deployed %s CL (digest %x...)\n", *kernel, sys.Package.Digest[:8])
+	} else {
+		systems := make([]*core.System, *devices)
+		exps := make([]client.Expectations, *devices)
+		for i := range systems {
+			systems[i] = newSystem(fpga.DNA(fmt.Sprintf("POOL-%02d", i)))
+			exps[i] = systems[i].Expectations()
+		}
+		sch := sched.New(sched.Config{})
+		defer sch.Close()
+		clSrv, clBound, err := remote.ServeCluster(systems, sch, *instAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer clSrv.Close()
+		fmt.Println("cluster gateway:    ", clBound)
+		expJSON, err = json.MarshalIndent(exps, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("deployed %s CL on %d devices (digest %x...)\n",
+			*kernel, *devices, systems[0].Package.Digest[:8])
 	}
+
 	if err := os.WriteFile(*expPath, expJSON, 0o644); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("expectations written:", *expPath)
-	fmt.Printf("deployed %s CL (digest %x...); waiting for a data owner — Ctrl-C to stop\n",
-		*kernel, sys.Package.Digest[:8])
+	fmt.Println("waiting for a data owner — Ctrl-C to stop")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -100,6 +100,7 @@ type Core struct {
 	status uint64
 	outLen uint64
 	runs   int
+	jobCtr uint32 // keyed runs since the last IV install (per-job IV schedule)
 }
 
 // IntegrityBlock is the protection granularity of the memory integrity
@@ -205,6 +206,11 @@ func (c *Core) WriteReg(addr uint32, v uint64) error {
 	case RegKey0, RegKey1, RegIV0, RegIV1:
 		c.keySet = true
 		c.regs[addr] = v
+		if addr == RegIV0 || addr == RegIV1 {
+			// Installing an IV starts a fresh session epoch: the per-job
+			// counter of the IV schedule rewinds to zero.
+			c.jobCtr = 0
+		}
 		return nil
 	case RegInAddr, RegInLen, RegOutAddr, RegParam0, RegParam1, RegParam2, RegParam3:
 		c.regs[addr] = v
@@ -271,11 +277,32 @@ func (c *Core) dataKey() (key, iv []byte) {
 	return key, iv
 }
 
+// JobIV derives the CTR IV for the n-th run under an installed base IV: the
+// job index is XOR-folded into bytes [8:12], leaving bytes [12:16] as the
+// block counter. The crypto engine and the host driver share this schedule,
+// so a session needs only one secure IV exchange — subsequent jobs advance
+// the counter on both sides without touching the protected registers. Run 0
+// uses the base IV verbatim. Hosts that reuse a session must install a base
+// IV whose block-counter field is zero, so per-job keystreams (at most 2^32
+// blocks apart) can never collide.
+func JobIV(base []byte, n uint32) []byte {
+	iv := append([]byte(nil), base...)
+	binary.BigEndian.PutUint32(iv[8:12], binary.BigEndian.Uint32(iv[8:12])^n)
+	return iv
+}
+
 // run executes one kernel invocation; callers hold c.mu.
 func (c *Core) run() {
 	c.runs++
 	c.status = StatusError
 	c.outLen = 0
+
+	// Every triggered keyed run consumes one slot of the IV schedule,
+	// success or failure — the host mirrors this count.
+	jobIdx := c.jobCtr
+	if c.keySet {
+		c.jobCtr++
+	}
 
 	inAddr, inLen := c.regs[RegInAddr], c.regs[RegInLen]
 	outAddr := c.regs[RegOutAddr]
@@ -290,8 +317,8 @@ func (c *Core) run() {
 	// Inline stream decryption at the memory interface (Table 4: inbound
 	// traffic is always encrypted in TEE mode).
 	if c.keySet {
-		key, iv := c.dataKey()
-		dec, err := cryptoutil.XORKeyStreamCTR(key, iv, input)
+		key, base := c.dataKey()
+		dec, err := cryptoutil.XORKeyStreamCTR(key, JobIV(base, jobIdx), input)
 		if err != nil {
 			return
 		}
@@ -305,7 +332,8 @@ func (c *Core) run() {
 	}
 
 	if c.keySet && c.kernel.EncryptOutput() {
-		key, iv := c.dataKey()
+		key, base := c.dataKey()
+		iv := JobIV(base, jobIdx)
 		// Outbound traffic uses a disjoint counter block: flip the top bit
 		// so input and output keystreams never overlap.
 		iv[0] ^= 0x80

@@ -320,3 +320,77 @@ func TestRekeyConfidentialityAndIntegrity(t *testing.T) {
 		t.Error("accepted short new key")
 	}
 }
+
+func TestRekeyReplayAfterRotationFails(t *testing.T) {
+	// Device-side view of a full rotation: the rekey frame is accepted once,
+	// the device installs (newKey, newCtr) — and from then on the captured
+	// frame is dead. An attacker on the bus replaying it cannot roll the
+	// session back to a key it has had longer to attack.
+	old := key16()
+	newKey := key16()
+	frame, err := SealRekeyRequest(old, 7, newKey, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotKey, gotCtr, err := OpenRekeyRequest(old, 7, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Device installs the new session state.
+	sessKey, sessCtr := gotKey, gotCtr
+
+	// Replay the captured rekey frame against the rotated session: the MAC
+	// was computed under the retired key, so it must not verify.
+	if _, _, err := OpenRekeyRequest(sessKey, sessCtr, frame); !errors.Is(err, ErrMAC) {
+		t.Errorf("replayed rekey after rotation: err = %v, want ErrMAC", err)
+	}
+	// Even a device that somehow kept the old key must reject it: the
+	// counter embedded in the frame is behind any live expectation.
+	if _, _, err := OpenRekeyRequest(old, 8, frame); !errors.Is(err, ErrReplay) {
+		t.Errorf("replayed rekey at advanced counter: err = %v, want ErrReplay", err)
+	}
+}
+
+func TestSecureRegUnderStaleKeyFailsAfterRekey(t *testing.T) {
+	// A register frame sealed under the pre-rotation session key must be
+	// worthless once the device has rotated — both when captured earlier
+	// and replayed now, and when forged fresh by a host that missed the
+	// rotation.
+	old := key16()
+	newKey := key16()
+
+	staleFrame, err := SealRegRequest(old, 3, RegTxn{Write: true, Addr: 8, Data: 0xdead})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rekey, err := SealRekeyRequest(old, 4, newKey, 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessKey, sessCtr, err := OpenRekeyRequest(old, 4, rekey)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Captured-then-replayed frame from before the rotation.
+	if _, err := OpenRegRequest(sessKey, sessCtr, staleFrame); !errors.Is(err, ErrMAC) {
+		t.Errorf("stale secure-reg frame after rekey: err = %v, want ErrMAC", err)
+	}
+	// Freshly sealed frame under the stale key, even at the right counter.
+	fresh, err := SealRegRequest(old, sessCtr, RegTxn{Write: true, Addr: 8, Data: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenRegRequest(sessKey, sessCtr, fresh); !errors.Is(err, ErrMAC) {
+		t.Errorf("stale-key secure-reg frame: err = %v, want ErrMAC", err)
+	}
+	// Sanity: a frame under the rotated key at the rotated counter passes.
+	ok, err := SealRegRequest(sessKey, sessCtr, RegTxn{Addr: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenRegRequest(sessKey, sessCtr, ok); err != nil {
+		t.Errorf("post-rekey frame rejected: %v", err)
+	}
+}

@@ -48,6 +48,15 @@ type Timing struct {
 	IntraCloud simnet.Link // instance ↔ manufacturer server
 	PCIe       simnet.Link // host ↔ FPGA shell
 	Loopback   simnet.Link // enclave ↔ enclave on the same host
+
+	// RealJobLatency is the real wall-clock time the host spends blocked
+	// on the board per kernel execution (DMA + fabric run on a physical
+	// U200). Unlike every field above it is not charged to the virtual
+	// clock: the job path actually sleeps, so host-side overlap across
+	// multiple boards — the effect internal/sched exists to exploit — is
+	// observable in real time. Zero (the default, and FastTiming) disables
+	// it; only the multi-device scheduler benchmarks set it.
+	RealJobLatency time.Duration
 }
 
 // DefaultTiming returns the calibration used to regenerate Figure 9 on a

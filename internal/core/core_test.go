@@ -549,8 +549,9 @@ func TestBootTranscriptShape(t *testing.T) {
 		t.Errorf("frame 2 type %#x, want attestation response", channel.MsgType(tr[2]))
 	}
 
-	// One job adds: 4 secure reg pairs (key/IV), DMA write(s), direct reg
-	// writes/reads, and DMA read — every frame one of the known types.
+	// The first job adds: 4 secure reg pairs (key/IV exchange), DMA
+	// write(s), direct reg writes/reads, the secure start command, and the
+	// DMA read — every frame one of the known types.
 	w, _ := accel.TestWorkload("Conv", 1)
 	if _, err := s.RunJob(w); err != nil {
 		t.Fatal(err)
@@ -565,13 +566,134 @@ func TestBootTranscriptShape(t *testing.T) {
 			t.Errorf("job frame %d has unexpected type %#x", i, channel.MsgType(f))
 		}
 	}
-	secureFrames := 0
-	for _, f := range s.Shell.Transcript() {
-		if channel.MsgType(f) == channel.MsgSecureReg {
-			secureFrames++
+	countSecure := func() int {
+		n := 0
+		for _, f := range s.Shell.Transcript() {
+			if channel.MsgType(f) == channel.MsgSecureReg {
+				n++
+			}
+		}
+		return n
+	}
+	if got := countSecure(); got != 5 {
+		t.Errorf("%d secure register frames, want exactly 5 (key/IV exchange + start)", got)
+	}
+
+	// A second job reuses the cached session: exactly one more secure
+	// frame (the start command), no repeated key exchange.
+	if _, err := s.RunJob(w); err != nil {
+		t.Fatal(err)
+	}
+	if got := countSecure(); got != 6 {
+		t.Errorf("%d secure register frames after second job, want 6 (session reuse)", got)
+	}
+}
+
+// forgeOutLen rewrites the response to a direct RegOutLen read with an
+// attacker-chosen 64-bit value whose low 32 bits look plausible — the
+// truncation lure a hostile shell could use against a host that narrows
+// the register to uint32.
+type forgeOutLen struct {
+	shell.PassThrough
+	value   uint64
+	pending bool
+}
+
+func (a *forgeOutLen) OnRequest(r []byte) []byte {
+	if txn, err := channel.DecodeDirectReg(r); err == nil && !txn.Write && txn.Addr == accel.RegOutLen {
+		a.pending = true
+	}
+	return r
+}
+
+func (a *forgeOutLen) OnResponse(r []byte) []byte {
+	if !a.pending || channel.MsgType(r) != channel.MsgDirectResp {
+		return r
+	}
+	a.pending = false
+	return channel.EncodeDirectResp(channel.RegResult{Data: a.value, OK: true})
+}
+
+func TestRunJobRejectsImplausibleOutLen(t *testing.T) {
+	// 1<<40 | 64 truncates to a plausible 64 under uint32() — the host
+	// must validate the full 64-bit register instead.
+	s := newTestSystem(t, func(c *SystemConfig) {
+		c.Interceptor = &forgeOutLen{value: 1<<40 | 64}
+	})
+	if _, err := s.SecureBoot(); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := accel.TestWorkload("Conv", 9)
+	_, err := s.RunJob(w)
+	if err == nil || !strings.Contains(err.Error(), "implausible output length") {
+		t.Errorf("err = %v, want implausible-output-length rejection", err)
+	}
+}
+
+func TestSessionRekeyEveryNJobs(t *testing.T) {
+	s := newTestSystem(t, func(c *SystemConfig) { c.SessionRekeyEvery = 2 })
+	if _, err := s.SecureBoot(); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := accel.TestWorkload("Conv", 4)
+	want, err := w.Kernel.Compute(w.Params, w.Input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		got, err := s.RunJob(w)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("job %d: wrong result", i)
 		}
 	}
-	if secureFrames != 4 {
-		t.Errorf("%d secure register frames, want exactly 4 (key/IV exchange)", secureFrames)
+	// Five jobs at rekey-every-2: epochs start at jobs 0, 2, 4 — three
+	// 4-write exchanges plus five secure start commands — and the second
+	// and third epoch each rotate the register-channel key first.
+	secure, rekeys := 0, 0
+	for _, f := range s.Shell.Transcript() {
+		switch channel.MsgType(f) {
+		case channel.MsgSecureReg:
+			secure++
+		case channel.MsgRekey:
+			rekeys++
+		}
+	}
+	if secure != 3*4+5 {
+		t.Errorf("secure frames = %d, want %d", secure, 3*4+5)
+	}
+	if rekeys != 2 {
+		t.Errorf("rekey frames = %d, want 2", rekeys)
+	}
+}
+
+func TestSessionSurvivesExplicitRekey(t *testing.T) {
+	// An external RekeySession rotates the register-channel epoch but not
+	// the cached data-key session: the next job must still run (its secure
+	// start rides the new channel epoch) without a fresh key exchange.
+	s := newTestSystem(t)
+	if _, err := s.SecureBoot(); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := accel.TestWorkload("Conv", 6)
+	if _, err := s.RunJob(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RekeySession(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunJob(w); err != nil {
+		t.Fatalf("job after rekey: %v", err)
+	}
+	exchanges := 0
+	for _, f := range s.Shell.Transcript() {
+		if channel.MsgType(f) == channel.MsgSecureReg {
+			exchanges++
+		}
+	}
+	if exchanges != 4+2 {
+		t.Errorf("secure frames = %d, want 6 (one exchange, two starts)", exchanges)
 	}
 }

@@ -18,6 +18,9 @@ func TestFigure9Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("U200-scale boot is seconds-long; skipped in -short")
 	}
+	if raceEnabled {
+		t.Skip("wall-clock calibration is meaningless under the race detector's slowdown")
+	}
 	r, err := RunFigure9("Conv")
 	if err != nil {
 		t.Fatal(err)

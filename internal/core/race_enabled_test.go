@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this binary was built with -race; wall-clock
+// calibration tests skip themselves, since the detector slows crypto and
+// bitstream work by an order of magnitude.
+const raceEnabled = true

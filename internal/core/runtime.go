@@ -3,11 +3,18 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"salus/internal/accel"
 	"salus/internal/channel"
 	"salus/internal/cryptoutil"
 )
+
+// DefaultSessionRekeyEvery is how many jobs reuse one cached data-key
+// session before the host rotates the register-channel key (RekeySession)
+// and re-runs the 4-write key/IV exchange. SystemConfig.SessionRekeyEvery
+// overrides it per deployment.
+const DefaultSessionRekeyEvery = 64
 
 // RunJob executes one workload on the attested FPGA TEE using the §4.5
 // interface pattern the paper prescribes: the symmetric data key is
@@ -15,47 +22,47 @@ import (
 // SM logic), while the bulk ciphertext flows over the direct, unprotected
 // memory channel — the accelerator's inline AES-CTR engine decrypts at the
 // memory interface. The returned bytes are the plaintext result.
+//
+// The key exchange is amortised across jobs: the first job of a session
+// epoch performs the 4 secure key/IV writes, and every subsequent job
+// derives a fresh per-job IV from the session counter (accel.JobIV) that
+// the crypto engine advances in lockstep. Each job still crosses the
+// protected path once — the start command is issued over the secure
+// register channel — so a runtime CL substitution or a desynced session
+// is caught on the very next job, exactly as with per-job key exchange.
 func (s *System) RunJob(w accel.Workload) ([]byte, error) {
 	// One job at a time: the accelerator's register file and DMA windows
 	// are a single shared resource, exactly as on the physical board.
 	s.jobMu.Lock()
 	defer s.jobMu.Unlock()
+	return s.runJobLocked(w)
+}
+
+// runJobLocked is the hot path; callers hold jobMu.
+func (s *System) runJobLocked(w accel.Workload) (out []byte, err error) {
 	if !s.booted {
 		return nil, fmt.Errorf("core: system not booted; run SecureBoot first")
 	}
 	if w.Kernel.Name() != s.Package.KernelName {
 		return nil, fmt.Errorf("core: workload targets %s, deployed CL is %s", w.Kernel.Name(), s.Package.KernelName)
 	}
-	dataKey, err := s.User.DataKey()
+	// Any failure leaves host and engine potentially disagreeing about the
+	// IV schedule position — drop the cached session so the next job
+	// re-exchanges and resynchronises.
+	defer func() {
+		if err != nil {
+			s.invalidateSession()
+		}
+	}()
+
+	dataKey, jobIV, err := s.ensureSession()
 	if err != nil {
 		return nil, err
-	}
-	iv := cryptoutil.RandomKey(16)
-
-	// Key exchange over the protected path (Key/IV registers only accept
-	// secure-channel writes).
-	secureWrites := []struct {
-		addr uint32
-		val  uint64
-	}{
-		{accel.RegKey1, binary.BigEndian.Uint64(dataKey[0:8])},
-		{accel.RegKey0, binary.BigEndian.Uint64(dataKey[8:16])},
-		{accel.RegIV1, binary.BigEndian.Uint64(iv[0:8])},
-		{accel.RegIV0, binary.BigEndian.Uint64(iv[8:16])},
-	}
-	for _, wr := range secureWrites {
-		res, err := s.User.SecureReg(channel.RegTxn{Write: true, Addr: wr.addr, Data: wr.val})
-		if err != nil {
-			return nil, fmt.Errorf("core: secure key exchange: %w", err)
-		}
-		if !res.OK {
-			return nil, fmt.Errorf("core: secure write to %#x rejected", wr.addr)
-		}
 	}
 
 	// Encrypt the payload inside the user enclave, then DMA it over the
 	// direct channel.
-	encIn, err := cryptoutil.XORKeyStreamCTR(dataKey, iv, w.Input)
+	encIn, err := cryptoutil.XORKeyStreamCTR(dataKey, jobIV, w.Input)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +82,6 @@ func (s *System) RunJob(w accel.Workload) ([]byte, error) {
 		{accel.RegParam1, w.Params[1]},
 		{accel.RegParam2, w.Params[2]},
 		{accel.RegParam3, w.Params[3]},
-		{accel.RegCtrl, accel.CtrlStart},
 	}
 	for _, wr := range directRegs {
 		res, err := s.directReg(channel.RegTxn{Write: true, Addr: wr.addr, Data: wr.val})
@@ -85,6 +91,24 @@ func (s *System) RunJob(w accel.Workload) ([]byte, error) {
 		if !res.OK {
 			return nil, fmt.Errorf("core: direct write to %#x rejected", wr.addr)
 		}
+	}
+
+	// The start command rides the protected path: one secure transaction
+	// per job keeps the session-counter liveness check of §4.5 on the hot
+	// path even when the key exchange is amortised away.
+	res, err := s.User.SecureReg(channel.RegTxn{Write: true, Addr: accel.RegCtrl, Data: accel.CtrlStart})
+	if err != nil {
+		return nil, fmt.Errorf("core: secure job start: %w", err)
+	}
+	if !res.OK {
+		return nil, fmt.Errorf("core: secure job start rejected")
+	}
+
+	// On a physical board the host now blocks until the fabric raises
+	// done; model that idle wait for real so multi-board overlap is
+	// measurable (see Timing.RealJobLatency).
+	if s.Timing.RealJobLatency > 0 {
+		time.Sleep(s.Timing.RealJobLatency)
 	}
 
 	status, err := s.directReg(channel.RegTxn{Addr: accel.RegStatus})
@@ -98,20 +122,20 @@ func (s *System) RunJob(w accel.Workload) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	// RegOutLen is 64-bit; a buggy or hostile CL could report a length
+	// whose low 32 bits look plausible. Validate against the device memory
+	// window instead of silently truncating.
+	if outLen.Data > accel.MemBytes || outLen.Data > accel.MemBytes-outAddr {
+		return nil, fmt.Errorf("core: CL reports implausible output length %d at %#x (device memory is %d bytes)",
+			outLen.Data, outAddr, accel.MemBytes)
+	}
 
-	resp, err := s.User.Direct(channel.EncodeMemRead(channel.MemRead{Addr: outAddr, N: uint32(outLen.Data)}))
-	if err != nil {
-		return nil, err
-	}
-	if msg, isErr := channel.DecodeError(resp); isErr {
-		return nil, fmt.Errorf("core: DMA read: %s", msg)
-	}
-	out, err := channel.DecodeMemData(resp)
+	out, err = s.dmaRead(outAddr, int(outLen.Data))
 	if err != nil {
 		return nil, err
 	}
 	if w.Kernel.EncryptOutput() {
-		out, err = accel.DecryptOutput(dataKey, iv, out)
+		out, err = accel.DecryptOutput(dataKey, jobIV, out)
 		if err != nil {
 			return nil, err
 		}
@@ -119,11 +143,70 @@ func (s *System) RunJob(w accel.Workload) ([]byte, error) {
 	return out, nil
 }
 
+// ensureSession returns the data key and this job's IV, performing the
+// 4-write secure key/IV exchange only when no session is cached or the
+// epoch is exhausted. Epoch rotation also rotates the register-channel
+// session key, so a long-lived deployment never accumulates unbounded
+// traffic under one Key_session.
+func (s *System) ensureSession() (dataKey, jobIV []byte, err error) {
+	if s.sessKey == nil || int(s.sessJobs) >= s.rekeyEvery {
+		if s.sessKey != nil {
+			if err := s.SM.RekeySession(); err != nil {
+				return nil, nil, fmt.Errorf("core: session rotation: %w", err)
+			}
+		}
+		key, err := s.User.DataKey()
+		if err != nil {
+			return nil, nil, err
+		}
+		baseIV := cryptoutil.RandomKey(16)
+		// Zero the block-counter field so per-job keystreams, 2^32 CTR
+		// blocks apart under accel.JobIV, can never collide.
+		for i := 12; i < 16; i++ {
+			baseIV[i] = 0
+		}
+		secureWrites := []struct {
+			addr uint32
+			val  uint64
+		}{
+			{accel.RegKey1, binary.BigEndian.Uint64(key[0:8])},
+			{accel.RegKey0, binary.BigEndian.Uint64(key[8:16])},
+			{accel.RegIV1, binary.BigEndian.Uint64(baseIV[0:8])},
+			{accel.RegIV0, binary.BigEndian.Uint64(baseIV[8:16])},
+		}
+		for _, wr := range secureWrites {
+			res, err := s.User.SecureReg(channel.RegTxn{Write: true, Addr: wr.addr, Data: wr.val})
+			if err != nil {
+				s.invalidateSession()
+				return nil, nil, fmt.Errorf("core: secure key exchange: %w", err)
+			}
+			if !res.OK {
+				s.invalidateSession()
+				return nil, nil, fmt.Errorf("core: secure write to %#x rejected", wr.addr)
+			}
+		}
+		s.sessKey, s.sessIV, s.sessJobs = key, baseIV, 0
+	}
+	jobIV = accel.JobIV(s.sessIV, s.sessJobs)
+	s.sessJobs++
+	return s.sessKey, jobIV, nil
+}
+
+// invalidateSession drops the cached data-key session; the next job
+// re-exchanges. Callers hold jobMu.
+func (s *System) invalidateSession() {
+	s.sessKey, s.sessIV, s.sessJobs = nil, nil, 0
+}
+
 // RunJobSealed is the remote-data-owner job path: the input arrives sealed
 // under the provisioned data key (AES-GCM, "job" domain), is opened inside
 // the user enclave, offloaded, and the result returns sealed the same way.
-// The plaintext never exists outside enclave or CL.
+// The plaintext never exists outside enclave or CL. The unseal/reseal runs
+// under the same serialisation as the job itself, so it can never race
+// SecureBoot or RekeySession.
 func (s *System) RunJobSealed(kernelName string, params [4]uint64, sealedInput []byte) ([]byte, error) {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
 	if !s.booted {
 		return nil, fmt.Errorf("core: system not booted")
 	}
@@ -139,7 +222,7 @@ func (s *System) RunJobSealed(kernelName string, params [4]uint64, sealedInput [
 	if err != nil {
 		return nil, fmt.Errorf("core: sealed job input rejected: %w", err)
 	}
-	out, err := s.RunJob(accel.Workload{Kernel: k, Params: params, Input: input})
+	out, err := s.runJobLocked(accel.Workload{Kernel: k, Params: params, Input: input})
 	if err != nil {
 		return nil, err
 	}
@@ -168,6 +251,40 @@ func (s *System) dmaWrite(addr uint64, data []byte) error {
 		}
 	}
 	return nil
+}
+
+// dmaRead streams data from device memory in bursts, symmetric with
+// dmaWrite — an unbounded single MemRead would let one response frame pin
+// the whole result in flight.
+func (s *System) dmaRead(addr uint64, n int) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("core: DMA read of negative length %d", n)
+	}
+	out := make([]byte, 0, n)
+	for off := 0; off < n; off += dmaBurst {
+		want := n - off
+		if want > dmaBurst {
+			want = dmaBurst
+		}
+		resp, err := s.User.Direct(channel.EncodeMemRead(channel.MemRead{
+			Addr: addr + uint64(off), N: uint32(want),
+		}))
+		if err != nil {
+			return nil, err
+		}
+		if msg, isErr := channel.DecodeError(resp); isErr {
+			return nil, fmt.Errorf("core: DMA read: %s", msg)
+		}
+		chunk, err := channel.DecodeMemData(resp)
+		if err != nil {
+			return nil, err
+		}
+		if len(chunk) != want {
+			return nil, fmt.Errorf("core: DMA read returned %d bytes, want %d", len(chunk), want)
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
 }
 
 func (s *System) directReg(txn channel.RegTxn) (channel.RegResult, error) {

@@ -40,6 +40,11 @@ type SystemConfig struct {
 	// tree at its DRAM interface (§3.1 attack-2 defence).
 	ProtectedMemory bool
 
+	// SessionRekeyEvery bounds how many jobs reuse one cached data-key
+	// session before the host rotates the register-channel key and
+	// re-exchanges the data key/IV. Zero selects DefaultSessionRekeyEvery.
+	SessionRekeyEvery int
+
 	// KeyService overrides how the SM enclave reaches the manufacturer's
 	// key distribution (e.g. an RPC client from internal/remote). Nil means
 	// the in-process service.
@@ -71,6 +76,15 @@ type System struct {
 	jobMu   sync.Mutex
 	dataKey []byte // the data owner's copy; the enclave holds its own
 	booted  bool
+
+	// Cached per-session job state (guarded by jobMu): once the data key
+	// and a base IV are exchanged over the secure register channel, repeat
+	// jobs derive per-job IVs from sessJobs instead of re-running the
+	// 4-write exchange. rekeyEvery bounds the epoch length.
+	sessKey    []byte
+	sessIV     []byte
+	sessJobs   uint32
+	rekeyEvery int
 }
 
 // NewSystem manufactures the device, provisions the TEE host, develops the
@@ -168,6 +182,10 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		return nil, err
 	}
 
+	rekeyEvery := cfg.SessionRekeyEvery
+	if rekeyEvery <= 0 {
+		rekeyEvery = DefaultSessionRekeyEvery
+	}
 	return &System{
 		Manufacturer: mfr,
 		HostPlatform: host,
@@ -179,6 +197,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		Clock:        clock,
 		Trace:        tr,
 		Timing:       cfg.Timing,
+		rekeyEvery:   rekeyEvery,
 	}, nil
 }
 
@@ -219,8 +238,20 @@ type BootReport struct {
 // An attack anywhere in the chain surfaces as an error from the step whose
 // guarantees it violates, and no data key is ever provisioned.
 func (s *System) SecureBoot() (*BootReport, error) {
+	return s.SecureBootWithKey(nil)
+}
+
+// SecureBootWithKey runs SecureBoot but provisions the caller-supplied
+// 16-byte data key instead of generating a fresh one. A data owner who
+// attests a fleet of devices and provisions the same key to each can then
+// submit one sealed job to any of them (see internal/sched). Nil means
+// generate randomly, exactly like SecureBoot.
+func (s *System) SecureBootWithKey(dataKey []byte) (*BootReport, error) {
 	if s.booted {
 		return nil, fmt.Errorf("core: system already booted")
+	}
+	if dataKey != nil && len(dataKey) != 16 {
+		return nil, fmt.Errorf("core: data key must be 16 bytes, got %d", len(dataKey))
 	}
 	span := s.Clock.StartSpan()
 	ver := client.New(s.Expectations())
@@ -241,7 +272,10 @@ func (s *System) SecureBoot() (*BootReport, error) {
 	}
 
 	// The platform is attested end to end: provision the data key.
-	s.dataKey = cryptoutil.RandomKey(16)
+	if dataKey == nil {
+		dataKey = cryptoutil.RandomKey(16)
+	}
+	s.dataKey = append([]byte(nil), dataKey...)
 	senderPub, sealed, err := client.ProvisionDataKey(dataPub, s.dataKey)
 	if err != nil {
 		return nil, err

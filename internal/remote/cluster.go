@@ -1,0 +1,196 @@
+package remote
+
+import (
+	"fmt"
+
+	"salus/internal/client"
+	"salus/internal/core"
+	"salus/internal/cryptoutil"
+	"salus/internal/rpc"
+	"salus/internal/sched"
+	"salus/internal/sgx"
+)
+
+// --- Cluster gateway ---------------------------------------------------------
+//
+// The multi-device analogue of the instance gateway: one RPC endpoint
+// fronts a pool of FPGA systems behind a sched.Scheduler. The data owner
+// attests every device individually — there is no transitive trust between
+// boards — then provisions one shared data key to all of them, after which
+// a sealed job runs on whichever device the scheduler picks.
+
+// ClusterBootRequest carries the data owner's RA challenge for the pool.
+type ClusterBootRequest struct {
+	Nonce []byte `json:"nonce"`
+}
+
+// ClusterBootResponse carries one deferred quote per device, in the
+// cluster's fixed device order.
+type ClusterBootResponse struct {
+	Quotes []sgx.Quote `json:"quotes"`
+}
+
+// ClusterProvisionRequest carries one sealed copy of the shared data key
+// per device, in the same order as the boot quotes.
+type ClusterProvisionRequest struct {
+	Provisions []ProvisionRequest `json:"provisions"`
+}
+
+// ClusterStatsResponse snapshots the scheduler.
+type ClusterStatsResponse struct {
+	Devices []sched.DeviceStats `json:"devices"`
+}
+
+// ServeCluster exposes a pool's boot/provision/job gateway on addr. The
+// systems must be freshly constructed (not yet booted); after a successful
+// Cluster.Provision they are registered into sch and jobs flow. Like the
+// instance gateway, this is untrusted plumbing: the quotes are signed, the
+// key copies are sealed to attested enclaves, and the job payloads are
+// AES-GCM under the provisioned key.
+func ServeCluster(systems []*core.System, sch *sched.Scheduler, addr string) (*rpc.Server, string, error) {
+	if len(systems) == 0 {
+		return nil, "", fmt.Errorf("remote: empty cluster")
+	}
+	srv := rpc.NewServer()
+	srv.Handle("Cluster.Boot", rpc.Typed(func(in ClusterBootRequest) (ClusterBootResponse, error) {
+		out := ClusterBootResponse{Quotes: make([]sgx.Quote, len(systems))}
+		for i, sys := range systems {
+			q, err := sys.BootAndQuote(in.Nonce)
+			if err != nil {
+				return ClusterBootResponse{}, fmt.Errorf("device %d (%s): %w", i, sys.Device.DNA(), err)
+			}
+			out.Quotes[i] = q
+		}
+		return out, nil
+	}))
+	srv.Handle("Cluster.Provision", rpc.Typed(func(in ClusterProvisionRequest) (struct{}, error) {
+		if len(in.Provisions) != len(systems) {
+			return struct{}{}, fmt.Errorf("got %d provisions for %d devices", len(in.Provisions), len(systems))
+		}
+		for i, p := range in.Provisions {
+			if err := systems[i].FinishProvision(p.SenderPub, p.Sealed); err != nil {
+				return struct{}{}, fmt.Errorf("device %d: %w", i, err)
+			}
+		}
+		// Only a fully provisioned pool joins the scheduler: a device that
+		// failed provisioning never sees a job.
+		for i, sys := range systems {
+			if err := sch.Register(sys); err != nil {
+				return struct{}{}, fmt.Errorf("device %d: %w", i, err)
+			}
+		}
+		return struct{}{}, nil
+	}))
+	srv.Handle("Cluster.RunJob", rpc.Typed(func(in JobRequest) (JobResponse, error) {
+		out, err := sch.SubmitSealed(in.Kernel, in.Params, in.SealedInput).Wait()
+		if err != nil {
+			return JobResponse{}, err
+		}
+		return JobResponse{SealedOutput: out}, nil
+	}))
+	srv.Handle("Cluster.Stats", rpc.Typed(func(struct{}) (ClusterStatsResponse, error) {
+		return ClusterStatsResponse{Devices: sch.Stats()}, nil
+	}))
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return nil, "", err
+	}
+	return srv, bound, nil
+}
+
+// ClusterSession is the data owner's session with a device pool. Each
+// device is verified against its own expectations (its own DNA, its own
+// RoT-injected bitstream hash); one shared data key is provisioned to all.
+type ClusterSession struct {
+	c       *rpc.Client
+	exps    []client.Expectations
+	dataKey []byte
+}
+
+// DialCluster opens a session toward a cluster gateway. exps holds one
+// expectation set per device, in the cluster's device order (the CSP
+// publishes the order with the DNAs; a mismatch fails attestation, since
+// expectations pin each device's DNA).
+func DialCluster(addr string, exps []client.Expectations) (*ClusterSession, error) {
+	if len(exps) == 0 {
+		return nil, fmt.Errorf("remote: no device expectations")
+	}
+	c, err := rpc.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: cluster: %w", err)
+	}
+	return &ClusterSession{c: c, exps: exps}, nil
+}
+
+// Attest attests every device in the pool with one fresh nonce, and — only
+// if all of them verify — provisions one shared data key, sealed
+// separately to each device's attested provisioning key. All-or-nothing:
+// one bad quote and no device receives the key.
+func (s *ClusterSession) Attest() error {
+	ver := client.New(s.exps[0])
+	nonce := ver.NewNonce()
+	var boot ClusterBootResponse
+	if err := s.c.Call("Cluster.Boot", ClusterBootRequest{Nonce: nonce}, &boot); err != nil {
+		return fmt.Errorf("remote: cluster boot: %w", err)
+	}
+	if len(boot.Quotes) != len(s.exps) {
+		return fmt.Errorf("remote: cluster returned %d quotes for %d expected devices", len(boot.Quotes), len(s.exps))
+	}
+	dataPubs := make([][]byte, len(boot.Quotes))
+	for i, q := range boot.Quotes {
+		pub, err := client.New(s.exps[i]).VerifyRAResponse(nonce, q)
+		if err != nil {
+			return fmt.Errorf("remote: device %d attestation: %w", i, err)
+		}
+		dataPubs[i] = pub
+	}
+	key := cryptoutil.RandomKey(16)
+	req := ClusterProvisionRequest{Provisions: make([]ProvisionRequest, len(dataPubs))}
+	for i, pub := range dataPubs {
+		senderPub, sealed, err := client.ProvisionDataKey(pub, key)
+		if err != nil {
+			return fmt.Errorf("remote: seal key for device %d: %w", i, err)
+		}
+		req.Provisions[i] = ProvisionRequest{SenderPub: senderPub, Sealed: sealed}
+	}
+	if err := s.c.Call("Cluster.Provision", req, nil); err != nil {
+		return fmt.Errorf("remote: cluster provision: %w", err)
+	}
+	s.dataKey = key
+	return nil
+}
+
+// RunJob seals the input under the pool's shared data key, submits it to
+// the cluster scheduler, and opens the sealed result. Which device ran the
+// job is invisible — and irrelevant, since every device was individually
+// attested before the key left the owner.
+func (s *ClusterSession) RunJob(kernel string, params [4]uint64, input []byte) ([]byte, error) {
+	if s.dataKey == nil {
+		return nil, fmt.Errorf("remote: cluster session not attested")
+	}
+	sealedIn, err := cryptoutil.Seal(s.dataKey, input, []byte("job-input"))
+	if err != nil {
+		return nil, err
+	}
+	var resp JobResponse
+	if err := s.c.Call("Cluster.RunJob", JobRequest{Kernel: kernel, Params: params, SealedInput: sealedIn}, &resp); err != nil {
+		return nil, err
+	}
+	out, err := cryptoutil.Open(s.dataKey, resp.SealedOutput, []byte("job-output"))
+	if err != nil {
+		return nil, fmt.Errorf("remote: sealed output rejected: %w", err)
+	}
+	return out, nil
+}
+
+// Stats fetches the cluster's per-device counters.
+func (s *ClusterSession) Stats() ([]sched.DeviceStats, error) {
+	var resp ClusterStatsResponse
+	if err := s.c.Call("Cluster.Stats", struct{}{}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Devices, nil
+}
+
+// Close releases the session.
+func (s *ClusterSession) Close() error { return s.c.Close() }

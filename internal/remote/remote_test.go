@@ -2,12 +2,16 @@ package remote
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"salus/internal/accel"
 	"salus/internal/client"
 	"salus/internal/core"
+	"salus/internal/cryptoutil"
+	"salus/internal/fpga"
 	"salus/internal/manufacturer"
+	"salus/internal/sched"
 	"salus/internal/sgx"
 )
 
@@ -250,3 +254,160 @@ func TestKeyClientDoesNotRetryRejections(t *testing.T) {
 		t.Errorf("rejection retried: %d requests, want 1", got)
 	}
 }
+
+// clusterDeployment wires a pool: one manufacturer RPC server shared by N
+// systems (each its own device/DNA), a scheduler, and the cluster gateway.
+type clusterDeployment struct {
+	systems []*core.System
+	sch     *sched.Scheduler
+	addr    string
+}
+
+func newClusterDeployment(t testing.TB, n int, kernel accel.Kernel) *clusterDeployment {
+	t.Helper()
+	mfr, err := manufacturer.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mfrSrv, mfrAddr, err := ServeManufacturer(mfr, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mfrSrv.Close() })
+	kc, err := DialManufacturer(mfrAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { kc.Close() })
+
+	systems := make([]*core.System, n)
+	for i := range systems {
+		systems[i], err = core.NewSystem(core.SystemConfig{
+			Kernel:       kernel,
+			Seed:         int64(500 + i),
+			DNA:          fpga.DNA(fmt.Sprintf("CLUSTER-%02d", i)),
+			Manufacturer: mfr,
+			KeyService:   kc,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	sch := sched.New(sched.Config{})
+	t.Cleanup(sch.Close)
+	srv, addr, err := ServeCluster(systems, sch, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return &clusterDeployment{systems: systems, sch: sch, addr: addr}
+}
+
+func (d *clusterDeployment) expectations() []client.Expectations {
+	exps := make([]client.Expectations, len(d.systems))
+	for i, sys := range d.systems {
+		exps[i] = sys.Expectations()
+	}
+	return exps
+}
+
+func TestClusterAttestAndRunJobs(t *testing.T) {
+	d := newClusterDeployment(t, 3, accel.Conv{})
+	sess, err := DialCluster(d.addr, d.expectations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if err := sess.Attest(); err != nil {
+		t.Fatal(err)
+	}
+	for i, sys := range d.systems {
+		if !sys.Booted() {
+			t.Fatalf("device %d not booted after cluster attestation", i)
+		}
+	}
+
+	const jobs = 6
+	for i := 0; i < jobs; i++ {
+		w := accel.GenConv(4, 4, 1, int64(i))
+		out, err := sess.RunJob("Conv", w.Params, w.Input)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		want, err := w.Kernel.Compute(w.Params, w.Input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, want) {
+			t.Errorf("job %d output diverges from reference", i)
+		}
+	}
+
+	stats, err := sess.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, ds := range stats {
+		total += ds.Completed
+		if ds.Failed != 0 {
+			t.Errorf("device %s failed %d jobs", ds.DNA, ds.Failed)
+		}
+	}
+	if total != jobs {
+		t.Errorf("cluster completed %d jobs, want %d", total, jobs)
+	}
+}
+
+func TestClusterAttestAllOrNothing(t *testing.T) {
+	// One device's expectations are wrong (foreign DNA): attestation of the
+	// pool must fail and NO device may receive the data key.
+	d := newClusterDeployment(t, 2, accel.Conv{})
+	exps := d.expectations()
+	exps[1].DNA = "NOT-THE-DEVICE"
+	sess, err := DialCluster(d.addr, exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if err := sess.Attest(); err == nil {
+		t.Fatal("cluster attested with a mismatched device expectation")
+	}
+	for i, sys := range d.systems {
+		if sys.Booted() {
+			t.Errorf("device %d provisioned despite failed pool attestation", i)
+		}
+	}
+	if _, err := sess.RunJob("Conv", [4]uint64{4, 4, 1}, []byte{1, 2, 3, 4}); err == nil {
+		t.Error("unattested cluster session ran a job")
+	}
+}
+
+func TestClusterJobOpaqueToGateway(t *testing.T) {
+	// The gateway (and the scheduler behind it) only ever see sealed bytes.
+	d := newClusterDeployment(t, 2, accel.Conv{})
+	sess, err := DialCluster(d.addr, d.expectations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if err := sess.Attest(); err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("column A: patient 4418 positive")
+	pad := make([]byte, 64-len(secret)%64)
+	w := accel.Workload{Kernel: accel.Conv{}, Params: [4]uint64{4, 4, 2}, Input: append(secret, pad...)}
+	sealedIn, err := cryptoutil.Seal(sessKey(sess), w.Input, []byte("job-input"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(sealedIn, secret) {
+		t.Error("sealed job input leaks plaintext")
+	}
+	if _, err := sess.RunJob("Conv", w.Params, w.Input); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sessKey exposes the session's provisioned key to the leak test above.
+func sessKey(s *ClusterSession) []byte { return s.dataKey }

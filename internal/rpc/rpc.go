@@ -30,6 +30,11 @@ const MaxFrame = 64 << 20
 var (
 	ErrFrameTooLarge = errors.New("rpc: frame exceeds maximum size")
 	ErrClosed        = errors.New("rpc: connection closed")
+	// ErrBroken marks a client whose wire framing desynced mid-call
+	// (timeout, short read, response-ID mismatch): the bytes of the dead
+	// call may still be in flight, so the connection cannot be reused.
+	// It wraps ErrClosed so retry layers treat it as a transport failure.
+	ErrBroken = fmt.Errorf("rpc: transport desynced, client unusable: %w", ErrClosed)
 )
 
 // ServerError is an application-level failure reported by a handler. It is
@@ -74,18 +79,28 @@ func writeFrame(w io.Writer, v any) error {
 	return err
 }
 
-// readFrame receives one length-prefixed JSON value into v.
-func readFrame(r io.Reader, v any) error {
+// readRawFrame receives one length-prefixed body. Any error here means the
+// stream position is no longer trustworthy.
+func readRawFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err
+		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
-		return ErrFrameTooLarge
+		return nil, ErrFrameTooLarge
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// readFrame receives one length-prefixed JSON value into v.
+func readFrame(r io.Reader, v any) error {
+	body, err := readRawFrame(r)
+	if err != nil {
 		return err
 	}
 	return json.Unmarshal(body, v)
@@ -236,7 +251,11 @@ func (s *Server) Close() error {
 }
 
 // Client is a connection to a Server. Safe for concurrent use; calls on
-// one client are serialised on the wire.
+// one client are serialised on the wire. A mid-call transport failure
+// (timeout, short read/write, mismatched response ID) permanently breaks
+// the client: the framing may be desynced, so instead of letting the next
+// call read a dead call's bytes, every subsequent Call fails fast with
+// ErrBroken and the caller re-dials.
 type Client struct {
 	mu      sync.Mutex
 	conn    net.Conn
@@ -244,6 +263,7 @@ type Client struct {
 	bw      *bufio.Writer
 	next    uint64
 	timeout time.Duration
+	broken  bool
 }
 
 // SetTimeout bounds every subsequent Call's total wire time (send +
@@ -271,13 +291,11 @@ func (c *Client) Call(method string, params any, result any) error {
 	if c.conn == nil {
 		return ErrClosed
 	}
-	if c.timeout > 0 {
-		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
-			return err
-		}
-		defer c.conn.SetDeadline(time.Time{})
+	if c.broken {
+		return ErrBroken
 	}
-	c.next++
+	// Marshal before touching the wire: an encode failure must not poison
+	// the connection.
 	var raw json.RawMessage
 	if params != nil {
 		body, err := json.Marshal(params)
@@ -286,19 +304,34 @@ func (c *Client) Call(method string, params any, result any) error {
 		}
 		raw = body
 	}
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return err
+		}
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	c.next++
 	req := Request{ID: c.next, Method: method, Params: raw}
 	if err := writeFrame(c.bw, req); err != nil {
-		return err
+		if errors.Is(err, ErrFrameTooLarge) {
+			return err // rejected before any bytes hit the wire
+		}
+		return c.fail(err)
 	}
 	if err := c.bw.Flush(); err != nil {
-		return err
+		return c.fail(err)
+	}
+	body, err := readRawFrame(c.br)
+	if err != nil {
+		return c.fail(err)
 	}
 	var resp Response
-	if err := readFrame(c.br, &resp); err != nil {
-		return err
+	if err := json.Unmarshal(body, &resp); err != nil {
+		// The frame was consumed whole; the stream stays in sync.
+		return fmt.Errorf("rpc: decode response: %w", err)
 	}
 	if resp.ID != req.ID {
-		return fmt.Errorf("rpc: response id %d for request %d", resp.ID, req.ID)
+		return c.fail(fmt.Errorf("rpc: response id %d for request %d", resp.ID, req.ID))
 	}
 	if resp.Error != "" {
 		return &ServerError{Msg: resp.Error}
@@ -307,6 +340,14 @@ func (c *Client) Call(method string, params any, result any) error {
 		return json.Unmarshal(resp.Result, result)
 	}
 	return nil
+}
+
+// fail marks the client broken after a mid-call transport error and closes
+// the socket so the peer sees the abort. Callers hold c.mu.
+func (c *Client) fail(err error) error {
+	c.broken = true
+	c.conn.Close()
+	return fmt.Errorf("%w: %w", ErrBroken, err)
 }
 
 // Close shuts the connection down.

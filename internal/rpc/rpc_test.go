@@ -1,9 +1,11 @@
 package rpc
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"strings"
 	"sync"
 	"testing"
@@ -226,5 +228,80 @@ func TestCallTimeout(t *testing.T) {
 	}
 	if time.Since(start) > 3*time.Second {
 		t.Error("timeout did not bound the call")
+	}
+}
+
+func TestClientBrokenAfterTimeout(t *testing.T) {
+	// After a timed-out call the response bytes may still arrive later; a
+	// reused connection would hand them to the NEXT call. The client must
+	// refuse reuse instead.
+	srv := NewServer()
+	block := make(chan struct{})
+	srv.Handle("hang", Typed(func(struct{}) (struct{}, error) {
+		<-block
+		return struct{}{}, nil
+	}))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { close(block); srv.Close() }()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetTimeout(100 * time.Millisecond)
+	if err := c.Call("hang", struct{}{}, nil); !errors.Is(err, ErrBroken) {
+		t.Fatalf("timed-out call: err = %v, want ErrBroken", err)
+	}
+	// Fail fast, well under the 100 ms deadline: no wire traffic at all.
+	start := time.Now()
+	err = c.Call("hang", struct{}{}, nil)
+	if !errors.Is(err, ErrBroken) || !errors.Is(err, ErrClosed) {
+		t.Errorf("call on broken client: err = %v, want ErrBroken wrapping ErrClosed", err)
+	}
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Errorf("broken client took %v to fail", d)
+	}
+}
+
+func TestClientBrokenAfterIDMismatch(t *testing.T) {
+	// A raw TCP server answering with the wrong response ID: framing-level
+	// desync. The first call errors; the client must not reuse the stream.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		for {
+			var req Request
+			if err := readFrame(br, &req); err != nil {
+				return
+			}
+			if err := writeFrame(conn, Response{ID: req.ID + 7}); err != nil {
+				return
+			}
+		}
+	}()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Call("echo", echoArgs{}, nil); !errors.Is(err, ErrBroken) {
+		t.Fatalf("mismatched-ID call: err = %v, want ErrBroken", err)
+	}
+	if err := c.Call("echo", echoArgs{}, nil); !errors.Is(err, ErrBroken) {
+		t.Errorf("second call: err = %v, want fast ErrBroken", err)
 	}
 }

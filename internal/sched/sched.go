@@ -1,0 +1,277 @@
+// Package sched fans Salus jobs across a pool of attested FPGA systems.
+//
+// The paper's evaluation (§6) drives multiple U200 boards from one host
+// process; this package reproduces that shape in the simulation. Each
+// booted *core.System — its register file and DMA windows a single shared
+// resource — gets one worker goroutine and a bounded job queue, and the
+// scheduler routes every submitted workload to the least-loaded device
+// whose deployed CL matches the workload's kernel. Session reuse
+// (core.System's cached data-key epoch) means a device that stays busy
+// pays the 4-write secure key/IV exchange once per rekey epoch instead of
+// once per job; only the single secure start command remains on the
+// per-job hot path.
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"salus/internal/accel"
+	"salus/internal/core"
+	"salus/internal/cryptoutil"
+	"salus/internal/fpga"
+)
+
+// DefaultQueueDepth bounds each device's pending-job queue. A full queue
+// applies backpressure: Submit blocks until the worker drains a slot.
+const DefaultQueueDepth = 32
+
+// Config tunes a Scheduler.
+type Config struct {
+	// QueueDepth is the per-device pending-job bound; DefaultQueueDepth
+	// when zero or negative.
+	QueueDepth int
+}
+
+// Future is the handle returned by Submit: it resolves when the job
+// finishes on some device.
+type Future struct {
+	done chan struct{}
+	out  []byte
+	err  error
+}
+
+// Wait blocks until the job completes and returns its result.
+func (f *Future) Wait() ([]byte, error) {
+	<-f.done
+	return f.out, f.err
+}
+
+// Done is closed when the result is available; use with select.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+func (f *Future) resolve(out []byte, err error) {
+	f.out, f.err = out, err
+	close(f.done)
+}
+
+func errFuture(err error) *Future {
+	f := &Future{done: make(chan struct{})}
+	f.resolve(nil, err)
+	return f
+}
+
+// job is one queue entry; exactly one of the two shapes is populated.
+type job struct {
+	fut *Future
+
+	// Plaintext path (Submit).
+	w accel.Workload
+
+	// Sealed path (SubmitSealed).
+	sealed      bool
+	kernelName  string
+	params      [4]uint64
+	sealedInput []byte
+}
+
+// device is one registered system plus its queue and counters.
+type device struct {
+	sys    *core.System
+	jobs   chan *job
+	queued atomic.Int64
+
+	completed atomic.Uint64
+	failed    atomic.Uint64
+}
+
+func (d *device) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for j := range d.jobs {
+		var out []byte
+		var err error
+		if j.sealed {
+			out, err = d.sys.RunJobSealed(j.kernelName, j.params, j.sealedInput)
+		} else {
+			out, err = d.sys.RunJob(j.w)
+		}
+		d.queued.Add(-1)
+		if err != nil {
+			d.failed.Add(1)
+		} else {
+			d.completed.Add(1)
+		}
+		j.fut.resolve(out, err)
+	}
+}
+
+// Scheduler routes jobs to a pool of booted systems.
+//
+// Lock discipline: Submit paths hold mu.RLock only long enough to pick a
+// device and enqueue; Close takes mu.Lock, so it cannot close a queue
+// while a send is in flight — the send-on-closed-channel race is
+// structurally impossible.
+type Scheduler struct {
+	mu      sync.RWMutex
+	devices []*device
+	closed  bool
+	wg      sync.WaitGroup
+
+	queueDepth int
+}
+
+// New returns an empty scheduler; add systems with Register.
+func New(cfg Config) *Scheduler {
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	return &Scheduler{queueDepth: depth}
+}
+
+// Register adds a booted system to the pool and starts its worker. The
+// system must have completed SecureBoot (or the remote provisioning
+// handshake): the scheduler never boots devices itself, because boot is
+// where attestation evidence is checked and that belongs to the owner.
+func (s *Scheduler) Register(sys *core.System) error {
+	if sys == nil {
+		return fmt.Errorf("sched: nil system")
+	}
+	if !sys.Booted() {
+		return fmt.Errorf("sched: system %s not booted", sys.Device.DNA())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("sched: scheduler closed")
+	}
+	d := &device{sys: sys, jobs: make(chan *job, s.queueDepth)}
+	s.devices = append(s.devices, d)
+	s.wg.Add(1)
+	go d.run(&s.wg)
+	return nil
+}
+
+// RegisterPipeline adds every stage of a booted pipeline. Each stage runs
+// a different kernel, so pipeline stages naturally shard the pool by
+// kernel name.
+func (s *Scheduler) RegisterPipeline(p *core.Pipeline) error {
+	for _, sys := range p.Systems() {
+		if err := s.Register(sys); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pick chooses the registered device with a matching CL and the fewest
+// queued jobs. Callers hold at least mu.RLock.
+func (s *Scheduler) pick(kernelName string) *device {
+	var best *device
+	var bestQ int64
+	for _, d := range s.devices {
+		if d.sys.Package.KernelName != kernelName {
+			continue
+		}
+		q := d.queued.Load()
+		if best == nil || q < bestQ {
+			best, bestQ = d, q
+		}
+	}
+	return best
+}
+
+func (s *Scheduler) submit(kernelName string, j *job) *Future {
+	j.fut = &Future{done: make(chan struct{})}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return errFuture(fmt.Errorf("sched: scheduler closed"))
+	}
+	d := s.pick(kernelName)
+	if d == nil {
+		return errFuture(fmt.Errorf("sched: no registered device runs kernel %q", kernelName))
+	}
+	d.queued.Add(1)
+	d.jobs <- j // blocks when the queue is full: backpressure
+	return j.fut
+}
+
+// Submit queues a plaintext workload (the local data-owner path, like
+// System.RunJob) and returns a future for its result.
+func (s *Scheduler) Submit(w accel.Workload) *Future {
+	if w.Kernel == nil {
+		return errFuture(fmt.Errorf("sched: workload has no kernel"))
+	}
+	return s.submit(w.Kernel.Name(), &job{w: w})
+}
+
+// SubmitSealed queues a sealed job (the remote data-owner path, like
+// System.RunJobSealed). The pool must share one data key — see BootShared
+// — or the job will only decrypt on the device it was sealed for.
+func (s *Scheduler) SubmitSealed(kernelName string, params [4]uint64, sealedInput []byte) *Future {
+	return s.submit(kernelName, &job{
+		sealed:      true,
+		kernelName:  kernelName,
+		params:      params,
+		sealedInput: sealedInput,
+	})
+}
+
+// DeviceStats is one device's lifetime counters.
+type DeviceStats struct {
+	DNA       fpga.DNA
+	Kernel    string
+	Queued    int64
+	Completed uint64
+	Failed    uint64
+}
+
+// Stats snapshots the pool.
+func (s *Scheduler) Stats() []DeviceStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]DeviceStats, 0, len(s.devices))
+	for _, d := range s.devices {
+		out = append(out, DeviceStats{
+			DNA:       d.sys.Device.DNA(),
+			Kernel:    d.sys.Package.KernelName,
+			Queued:    d.queued.Load(),
+			Completed: d.completed.Load(),
+			Failed:    d.failed.Load(),
+		})
+	}
+	return out
+}
+
+// Close stops accepting jobs, drains every queue, and waits for the
+// workers. Already-queued jobs still run; their futures resolve.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, d := range s.devices {
+		close(d.jobs)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// BootShared boots every system in the slice with one freshly generated
+// shared data key and returns that key. A pool provisioned this way runs
+// sealed jobs interchangeably: input sealed under the key opens on any
+// device, which is what lets SubmitSealed route by load instead of by
+// identity.
+func BootShared(systems []*core.System) ([]byte, error) {
+	key := cryptoutil.RandomKey(16)
+	for i, sys := range systems {
+		if _, err := sys.SecureBootWithKey(key); err != nil {
+			return nil, fmt.Errorf("sched: boot device %d (%s): %w", i, sys.Device.DNA(), err)
+		}
+	}
+	return key, nil
+}
