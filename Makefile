@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race tier1 bench bench-sched clean
+.PHONY: all build test vet race tier1 ci fmt-check bench bench-sched bench-degraded clean
 
 all: build test
 
@@ -23,12 +23,27 @@ tier1:
 	$(GO) build ./... && $(GO) test ./...
 	$(GO) test -race ./internal/sched ./internal/core
 
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# The one-stop verification entry point: formatting, vet, the tier-1 gate,
+# and the failure-path packages (rpc multiplexing, scheduler quarantine,
+# cluster reconnect) under the race detector.
+ci: fmt-check vet
+	$(GO) build ./... && $(GO) test ./...
+	$(GO) test -race ./internal/sched ./internal/rpc ./internal/remote ./internal/core
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Multi-device scheduler throughput (serial baseline vs 1/2/4 devices).
 bench-sched:
 	$(GO) test -run xxx -bench SchedulerThroughput -benchtime 100x .
+
+# Degraded pool: 3 devices with one permanently broken vs 2 healthy.
+bench-degraded:
+	$(GO) test -run xxx -bench SchedulerDegradedPool -benchtime 100x .
 
 clean:
 	$(GO) clean ./...

@@ -2,14 +2,23 @@
 // it loads the expectations published for a cloud instance, attests the
 // whole heterogeneous platform with one cascaded-attestation round trip
 // over TCP, provisions a data key, and offloads an encrypted job.
+//
+// When the expectations file holds a JSON array (written by salus-server
+// -devices N), the client switches to cluster mode: it attests every device
+// in the pool, provisions one shared data key, and fans -jobs sealed jobs
+// out concurrently over a single multiplexed connection — polling the
+// pool's per-device stats on that same connection while the jobs run.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sync"
+	"time"
 
 	"salus"
 	"salus/internal/client"
@@ -19,15 +28,21 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("salus-client: ")
-	instAddr := flag.String("inst", "127.0.0.1:7002", "instance gateway address")
+	instAddr := flag.String("inst", "127.0.0.1:7002", "instance / cluster gateway address")
 	expPath := flag.String("exp", "salus-expectations.json", "expectations file from salus-server")
 	kernel := flag.String("kernel", "Conv", "kernel the instance deployed")
+	jobs := flag.Int("jobs", 8, "cluster mode: number of concurrent sealed jobs")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*expPath)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if bytes.HasPrefix(bytes.TrimSpace(raw), []byte("[")) {
+		runCluster(raw, *instAddr, *kernel, *jobs)
+		return
+	}
+
 	var exp client.Expectations
 	if err := json.Unmarshal(raw, &exp); err != nil {
 		log.Fatal(err)
@@ -56,4 +71,85 @@ func main() {
 	}
 	fmt.Printf("offloaded %s: %d input bytes -> %d output bytes (sealed both ways)\n",
 		*kernel, len(w.Input), len(out))
+}
+
+// runCluster attests a device pool and drives concurrent sealed jobs plus
+// live stats over one shared connection.
+func runCluster(raw []byte, addr, kernel string, jobs int) {
+	var exps []client.Expectations
+	if err := json.Unmarshal(raw, &exps); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("expecting a pool of %d devices, CL digest %x...\n", len(exps), exps[0].Digest[:8])
+
+	sess, err := remote.DialCluster(addr, exps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	if err := sess.Attest(); err != nil {
+		log.Fatalf("pool NOT trusted: %v", err)
+	}
+	fmt.Printf("all %d devices attested; shared data key provisioned\n", len(exps))
+
+	var wg sync.WaitGroup
+	errs := make(chan error, jobs)
+	done := make(chan struct{})
+	for i := 0; i < jobs; i++ {
+		w, ok := salus.TestWorkload(kernel, int64(i))
+		if !ok {
+			log.Fatalf("unknown kernel %q", kernel)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := sess.RunJob(kernel, w.Params, w.Input); err != nil {
+				errs <- fmt.Errorf("job %d: %w", i, err)
+			}
+		}(i)
+	}
+	// While the jobs are in flight, poll stats on the SAME connection —
+	// possible only because the RPC client multiplexes concurrent calls.
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if stats, err := sess.Stats(); err == nil {
+				var queued int64
+				for _, ds := range stats {
+					queued += ds.Queued
+				}
+				fmt.Printf("  in flight: %d jobs queued across %d devices\n", queued, len(stats))
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	close(done)
+	close(errs)
+	failed := 0
+	for err := range errs {
+		failed++
+		log.Println(err)
+	}
+
+	stats, err := sess.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ran %d sealed %s jobs (%d failed) across the pool:\n", jobs, kernel, failed)
+	for _, ds := range stats {
+		state := "healthy"
+		if ds.Quarantined {
+			state = "QUARANTINED"
+		}
+		fmt.Printf("  %-12s %-10s completed=%-4d failed=%-3d retried=%-3d %s\n",
+			ds.DNA, ds.Kernel, ds.Completed, ds.Failed, ds.Retried, state)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
 }

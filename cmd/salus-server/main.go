@@ -38,6 +38,10 @@ func main() {
 	instAddr := flag.String("inst", "127.0.0.1:7002", "instance / cluster gateway address")
 	expPath := flag.String("exp", "salus-expectations.json", "where to write the data owner's expectations")
 	devices := flag.Int("devices", 1, "number of FPGA devices; >1 serves a cluster gateway with a job scheduler")
+	queue := flag.Int("queue", sched.DefaultQueueDepth, "cluster mode: per-device job queue depth")
+	retries := flag.Int("retries", sched.DefaultMaxRetries, "cluster mode: re-dispatch attempts for device faults (negative disables)")
+	quarAfter := flag.Int("quarantine-after", sched.DefaultQuarantineAfter, "cluster mode: consecutive faults before a device is quarantined")
+	quarBase := flag.Duration("quarantine", sched.DefaultQuarantineBase, "cluster mode: initial quarantine window (doubles per relapse)")
 	flag.Parse()
 
 	k, ok := salus.KernelByName(*kernel)
@@ -100,7 +104,12 @@ func main() {
 			systems[i] = newSystem(fpga.DNA(fmt.Sprintf("POOL-%02d", i)))
 			exps[i] = systems[i].Expectations()
 		}
-		sch := sched.New(sched.Config{})
+		sch := sched.New(sched.Config{
+			QueueDepth:      *queue,
+			MaxRetries:      *retries,
+			QuarantineAfter: *quarAfter,
+			QuarantineBase:  *quarBase,
+		})
 		defer sch.Close()
 		clSrv, clBound, err := remote.ServeCluster(systems, sch, *instAddr)
 		if err != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"time"
 
@@ -15,6 +16,24 @@ import (
 // and re-runs the 4-write key/IV exchange. SystemConfig.SessionRekeyEvery
 // overrides it per deployment.
 const DefaultSessionRekeyEvery = 64
+
+// ErrDeviceFault marks transport- and session-level failures of the job
+// path — DMA traffic, direct or secure register transactions, the crypto
+// engine's status — as opposed to deliberate rejections of the job itself
+// (unknown kernel, workload/CL mismatch, sealed-input authentication). A
+// job failing with ErrDeviceFault was never refused: it may well succeed
+// on another device, so retry layers (internal/sched) re-dispatch on it
+// and on nothing else.
+var ErrDeviceFault = errors.New("core: device/session fault")
+
+// deviceFault tags err as a transport/session failure (see ErrDeviceFault)
+// while keeping the underlying chain inspectable.
+func deviceFault(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrDeviceFault, err)
+}
 
 // RunJob executes one workload on the attested FPGA TEE using the §4.5
 // interface pattern the paper prescribes: the symmetric data key is
@@ -67,7 +86,7 @@ func (s *System) runJobLocked(w accel.Workload) (out []byte, err error) {
 		return nil, err
 	}
 	if err := s.dmaWrite(0, encIn); err != nil {
-		return nil, err
+		return nil, deviceFault(err)
 	}
 
 	outAddr := uint64(len(encIn) + 4096)
@@ -86,10 +105,10 @@ func (s *System) runJobLocked(w accel.Workload) (out []byte, err error) {
 	for _, wr := range directRegs {
 		res, err := s.directReg(channel.RegTxn{Write: true, Addr: wr.addr, Data: wr.val})
 		if err != nil {
-			return nil, err
+			return nil, deviceFault(err)
 		}
 		if !res.OK {
-			return nil, fmt.Errorf("core: direct write to %#x rejected", wr.addr)
+			return nil, deviceFault(fmt.Errorf("core: direct write to %#x rejected", wr.addr))
 		}
 	}
 
@@ -98,10 +117,10 @@ func (s *System) runJobLocked(w accel.Workload) (out []byte, err error) {
 	// path even when the key exchange is amortised away.
 	res, err := s.User.SecureReg(channel.RegTxn{Write: true, Addr: accel.RegCtrl, Data: accel.CtrlStart})
 	if err != nil {
-		return nil, fmt.Errorf("core: secure job start: %w", err)
+		return nil, deviceFault(fmt.Errorf("core: secure job start: %w", err))
 	}
 	if !res.OK {
-		return nil, fmt.Errorf("core: secure job start rejected")
+		return nil, deviceFault(fmt.Errorf("core: secure job start rejected"))
 	}
 
 	// On a physical board the host now blocks until the fabric raises
@@ -113,31 +132,34 @@ func (s *System) runJobLocked(w accel.Workload) (out []byte, err error) {
 
 	status, err := s.directReg(channel.RegTxn{Addr: accel.RegStatus})
 	if err != nil {
-		return nil, err
+		return nil, deviceFault(err)
 	}
 	if status.Data != accel.StatusDone {
-		return nil, fmt.Errorf("core: accelerator finished with status %d", status.Data)
+		return nil, deviceFault(fmt.Errorf("core: accelerator finished with status %d", status.Data))
 	}
 	outLen, err := s.directReg(channel.RegTxn{Addr: accel.RegOutLen})
 	if err != nil {
-		return nil, err
+		return nil, deviceFault(err)
 	}
 	// RegOutLen is 64-bit; a buggy or hostile CL could report a length
 	// whose low 32 bits look plausible. Validate against the device memory
 	// window instead of silently truncating.
 	if outLen.Data > accel.MemBytes || outLen.Data > accel.MemBytes-outAddr {
-		return nil, fmt.Errorf("core: CL reports implausible output length %d at %#x (device memory is %d bytes)",
-			outLen.Data, outAddr, accel.MemBytes)
+		return nil, deviceFault(fmt.Errorf("core: CL reports implausible output length %d at %#x (device memory is %d bytes)",
+			outLen.Data, outAddr, accel.MemBytes))
 	}
 
 	out, err = s.dmaRead(outAddr, int(outLen.Data))
 	if err != nil {
-		return nil, err
+		return nil, deviceFault(err)
 	}
 	if w.Kernel.EncryptOutput() {
 		out, err = accel.DecryptOutput(dataKey, jobIV, out)
 		if err != nil {
-			return nil, err
+			// Garbled ciphertext means the engine's keystream desynced or
+			// the board corrupted the result — a device fault, not a
+			// rejection of the job.
+			return nil, deviceFault(err)
 		}
 	}
 	return out, nil
@@ -152,7 +174,7 @@ func (s *System) ensureSession() (dataKey, jobIV []byte, err error) {
 	if s.sessKey == nil || int(s.sessJobs) >= s.rekeyEvery {
 		if s.sessKey != nil {
 			if err := s.SM.RekeySession(); err != nil {
-				return nil, nil, fmt.Errorf("core: session rotation: %w", err)
+				return nil, nil, deviceFault(fmt.Errorf("core: session rotation: %w", err))
 			}
 		}
 		key, err := s.User.DataKey()
@@ -178,11 +200,11 @@ func (s *System) ensureSession() (dataKey, jobIV []byte, err error) {
 			res, err := s.User.SecureReg(channel.RegTxn{Write: true, Addr: wr.addr, Data: wr.val})
 			if err != nil {
 				s.invalidateSession()
-				return nil, nil, fmt.Errorf("core: secure key exchange: %w", err)
+				return nil, nil, deviceFault(fmt.Errorf("core: secure key exchange: %w", err))
 			}
 			if !res.OK {
 				s.invalidateSession()
-				return nil, nil, fmt.Errorf("core: secure write to %#x rejected", wr.addr)
+				return nil, nil, deviceFault(fmt.Errorf("core: secure write to %#x rejected", wr.addr))
 			}
 		}
 		s.sessKey, s.sessIV, s.sessJobs = key, baseIV, 0

@@ -1,7 +1,13 @@
 package remote
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"sync"
+	"time"
 
 	"salus/internal/client"
 	"salus/internal/core"
@@ -47,36 +53,78 @@ type ClusterStatsResponse struct {
 // instance gateway, this is untrusted plumbing: the quotes are signed, the
 // key copies are sealed to attested enclaves, and the job payloads are
 // AES-GCM under the provisioned key.
+//
+// Boot and Provision are retry-safe: a client whose connection broke
+// mid-handshake can re-dial and resend the same request. A replayed Boot
+// under the original nonce returns the cached quotes (re-signing the same
+// deterministic response leaks nothing); a partially applied Boot or
+// Provision resumes from the first unfinished device; a replayed Provision
+// returns success without double-registering anything. Only *conflicting*
+// replays — a different nonce, a different key material — are refused.
 func ServeCluster(systems []*core.System, sch *sched.Scheduler, addr string) (*rpc.Server, string, error) {
 	if len(systems) == 0 {
 		return nil, "", fmt.Errorf("remote: empty cluster")
 	}
 	srv := rpc.NewServer()
+
+	// Handshake state. RPC handlers run concurrently (one goroutine per
+	// request), so every mutation of the pool is serialised here.
+	var (
+		mu         sync.Mutex
+		bootNonce  []byte
+		bootQuotes []sgx.Quote
+		booted     int // devices through BootAndQuote
+		provFP     []byte
+		provided   int // devices through FinishProvision
+		registered int // devices registered into the scheduler
+	)
+
 	srv.Handle("Cluster.Boot", rpc.Typed(func(in ClusterBootRequest) (ClusterBootResponse, error) {
-		out := ClusterBootResponse{Quotes: make([]sgx.Quote, len(systems))}
-		for i, sys := range systems {
-			q, err := sys.BootAndQuote(in.Nonce)
-			if err != nil {
-				return ClusterBootResponse{}, fmt.Errorf("device %d (%s): %w", i, sys.Device.DNA(), err)
-			}
-			out.Quotes[i] = q
+		mu.Lock()
+		defer mu.Unlock()
+		if booted > 0 && !bytes.Equal(in.Nonce, bootNonce) {
+			return ClusterBootResponse{}, fmt.Errorf("cluster already booted under a different nonce")
 		}
-		return out, nil
+		if booted == 0 {
+			bootNonce = append([]byte(nil), in.Nonce...)
+			bootQuotes = make([]sgx.Quote, len(systems))
+		}
+		for ; booted < len(systems); booted++ {
+			q, err := systems[booted].BootAndQuote(in.Nonce)
+			if err != nil {
+				return ClusterBootResponse{}, fmt.Errorf("device %d (%s): %w", booted, systems[booted].Device.DNA(), err)
+			}
+			bootQuotes[booted] = q
+		}
+		return ClusterBootResponse{Quotes: bootQuotes}, nil
 	}))
 	srv.Handle("Cluster.Provision", rpc.Typed(func(in ClusterProvisionRequest) (struct{}, error) {
 		if len(in.Provisions) != len(systems) {
 			return struct{}{}, fmt.Errorf("got %d provisions for %d devices", len(in.Provisions), len(systems))
 		}
-		for i, p := range in.Provisions {
-			if err := systems[i].FinishProvision(p.SenderPub, p.Sealed); err != nil {
-				return struct{}{}, fmt.Errorf("device %d: %w", i, err)
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return struct{}{}, err
+		}
+		fp := sha256.Sum256(raw)
+		mu.Lock()
+		defer mu.Unlock()
+		if provided > 0 && !bytes.Equal(fp[:], provFP) {
+			return struct{}{}, fmt.Errorf("cluster already provisioned with different key material")
+		}
+		provFP = fp[:]
+		for ; provided < len(systems); provided++ {
+			p := in.Provisions[provided]
+			if err := systems[provided].FinishProvision(p.SenderPub, p.Sealed); err != nil {
+				return struct{}{}, fmt.Errorf("device %d: %w", provided, err)
 			}
 		}
 		// Only a fully provisioned pool joins the scheduler: a device that
-		// failed provisioning never sees a job.
-		for i, sys := range systems {
-			if err := sch.Register(sys); err != nil {
-				return struct{}{}, fmt.Errorf("device %d: %w", i, err)
+		// failed provisioning never sees a job, and a replayed Provision
+		// never registers a device twice.
+		for ; registered < len(systems); registered++ {
+			if err := sch.Register(systems[registered]); err != nil {
+				return struct{}{}, fmt.Errorf("device %d: %w", registered, err)
 			}
 		}
 		return struct{}{}, nil
@@ -98,12 +146,35 @@ func ServeCluster(systems []*core.System, sch *sched.Scheduler, addr string) (*r
 	return srv, bound, nil
 }
 
+// Reconnect policy for ClusterSession: how many dial-and-retry rounds one
+// call may burn before surfacing the transport error, and the first
+// backoff (doubled per round).
+const (
+	clusterRedialAttempts = 4
+	clusterRedialBase     = 50 * time.Millisecond
+)
+
 // ClusterSession is the data owner's session with a device pool. Each
 // device is verified against its own expectations (its own DNA, its own
 // RoT-injected bitstream hash); one shared data key is provisioned to all.
+//
+// The session survives transport failures: when the underlying rpc client
+// is poisoned with rpc.ErrBroken, the next call re-dials with exponential
+// backoff and retries. That is sound because nothing secret lives in the
+// connection — the data key survives reconnects, the gateway's Boot and
+// Provision handlers are idempotent, and job payloads are sealed
+// end-to-end — so a dropped TCP stream costs latency, never safety.
+// Application-level rejections from the server are returned immediately,
+// never retried.
 type ClusterSession struct {
+	addr string
+	exps []client.Expectations
+
+	mu      sync.Mutex
 	c       *rpc.Client
-	exps    []client.Expectations
+	closed  bool
+	redials int
+	nonce   []byte
 	dataKey []byte
 }
 
@@ -119,18 +190,102 @@ func DialCluster(addr string, exps []client.Expectations) (*ClusterSession, erro
 	if err != nil {
 		return nil, fmt.Errorf("remote: cluster: %w", err)
 	}
-	return &ClusterSession{c: c, exps: exps}, nil
+	return &ClusterSession{addr: addr, exps: exps, c: c}, nil
+}
+
+// client returns the live rpc client, re-dialing if the previous one was
+// torn down.
+func (s *ClusterSession) client() (*rpc.Client, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("remote: cluster session closed")
+	}
+	if s.c == nil {
+		c, err := rpc.Dial(s.addr)
+		if err != nil {
+			return nil, err
+		}
+		s.c = c
+		s.redials++
+	}
+	return s.c, nil
+}
+
+// invalidate drops a broken client so the next call re-dials.
+func (s *ClusterSession) invalidate(old *rpc.Client) {
+	s.mu.Lock()
+	if s.c == old {
+		old.Close()
+		s.c = nil
+	}
+	s.mu.Unlock()
+}
+
+// call performs one RPC with redial-and-retry on broken transports.
+func (s *ClusterSession) call(method string, params, result any) error {
+	backoff := clusterRedialBase
+	var err error
+	for attempt := 0; attempt < clusterRedialAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		var c *rpc.Client
+		c, err = s.client()
+		if err != nil {
+			if s.isClosed() {
+				return err
+			}
+			continue // the gateway may be coming back
+		}
+		err = c.Call(method, params, result)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, rpc.ErrBroken) {
+			// Deliberate server rejection, timeout, oversized frame: the
+			// transport is fine, retrying cannot help.
+			return err
+		}
+		s.invalidate(c)
+	}
+	return fmt.Errorf("remote: cluster gateway unreachable after %d attempts: %w", clusterRedialAttempts, err)
+}
+
+func (s *ClusterSession) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Redials reports how many times the session re-dialed the gateway after a
+// broken transport.
+func (s *ClusterSession) Redials() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.redials
 }
 
 // Attest attests every device in the pool with one fresh nonce, and — only
 // if all of them verify — provisions one shared data key, sealed
 // separately to each device's attested provisioning key. All-or-nothing:
 // one bad quote and no device receives the key.
+//
+// Attest is retry-safe end to end: the nonce is generated once per session
+// and reused on retries, matching the gateway's idempotent Boot handler,
+// so an Attest that died to a mid-flight connection loss can simply be
+// called again.
 func (s *ClusterSession) Attest() error {
-	ver := client.New(s.exps[0])
-	nonce := ver.NewNonce()
+	s.mu.Lock()
+	if s.nonce == nil {
+		s.nonce = client.New(s.exps[0]).NewNonce()
+	}
+	nonce := s.nonce
+	s.mu.Unlock()
+
 	var boot ClusterBootResponse
-	if err := s.c.Call("Cluster.Boot", ClusterBootRequest{Nonce: nonce}, &boot); err != nil {
+	if err := s.call("Cluster.Boot", ClusterBootRequest{Nonce: nonce}, &boot); err != nil {
 		return fmt.Errorf("remote: cluster boot: %w", err)
 	}
 	if len(boot.Quotes) != len(s.exps) {
@@ -153,30 +308,37 @@ func (s *ClusterSession) Attest() error {
 		}
 		req.Provisions[i] = ProvisionRequest{SenderPub: senderPub, Sealed: sealed}
 	}
-	if err := s.c.Call("Cluster.Provision", req, nil); err != nil {
+	if err := s.call("Cluster.Provision", req, nil); err != nil {
 		return fmt.Errorf("remote: cluster provision: %w", err)
 	}
+	s.mu.Lock()
 	s.dataKey = key
+	s.mu.Unlock()
 	return nil
 }
 
 // RunJob seals the input under the pool's shared data key, submits it to
 // the cluster scheduler, and opens the sealed result. Which device ran the
 // job is invisible — and irrelevant, since every device was individually
-// attested before the key left the owner.
+// attested before the key left the owner. Sealed jobs are pure and
+// idempotent, so a job lost to a broken connection is safely re-submitted
+// over a fresh one.
 func (s *ClusterSession) RunJob(kernel string, params [4]uint64, input []byte) ([]byte, error) {
-	if s.dataKey == nil {
+	s.mu.Lock()
+	key := s.dataKey
+	s.mu.Unlock()
+	if key == nil {
 		return nil, fmt.Errorf("remote: cluster session not attested")
 	}
-	sealedIn, err := cryptoutil.Seal(s.dataKey, input, []byte("job-input"))
+	sealedIn, err := cryptoutil.Seal(key, input, []byte("job-input"))
 	if err != nil {
 		return nil, err
 	}
 	var resp JobResponse
-	if err := s.c.Call("Cluster.RunJob", JobRequest{Kernel: kernel, Params: params, SealedInput: sealedIn}, &resp); err != nil {
+	if err := s.call("Cluster.RunJob", JobRequest{Kernel: kernel, Params: params, SealedInput: sealedIn}, &resp); err != nil {
 		return nil, err
 	}
-	out, err := cryptoutil.Open(s.dataKey, resp.SealedOutput, []byte("job-output"))
+	out, err := cryptoutil.Open(key, resp.SealedOutput, []byte("job-output"))
 	if err != nil {
 		return nil, fmt.Errorf("remote: sealed output rejected: %w", err)
 	}
@@ -186,11 +348,21 @@ func (s *ClusterSession) RunJob(kernel string, params [4]uint64, input []byte) (
 // Stats fetches the cluster's per-device counters.
 func (s *ClusterSession) Stats() ([]sched.DeviceStats, error) {
 	var resp ClusterStatsResponse
-	if err := s.c.Call("Cluster.Stats", struct{}{}, &resp); err != nil {
+	if err := s.call("Cluster.Stats", struct{}{}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Devices, nil
 }
 
 // Close releases the session.
-func (s *ClusterSession) Close() error { return s.c.Close() }
+func (s *ClusterSession) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.c == nil {
+		return nil
+	}
+	err := s.c.Close()
+	s.c = nil
+	return err
+}

@@ -162,7 +162,12 @@ type JobResponse struct {
 // to end.
 func ServeInstance(sys *core.System, addr string) (*rpc.Server, string, error) {
 	srv := rpc.NewServer()
+	// RPC handlers run concurrently; boot-path mutations of the system are
+	// serialised here (the job path has its own per-system lock).
+	var bootMu sync.Mutex
 	srv.Handle("Instance.Boot", rpc.Typed(func(in BootRequest) (BootResponse, error) {
+		bootMu.Lock()
+		defer bootMu.Unlock()
 		q, err := sys.BootAndQuote(in.Nonce)
 		if err != nil {
 			return BootResponse{}, err
@@ -170,6 +175,8 @@ func ServeInstance(sys *core.System, addr string) (*rpc.Server, string, error) {
 		return BootResponse{Quote: q}, nil
 	}))
 	srv.Handle("Instance.Provision", rpc.Typed(func(in ProvisionRequest) (struct{}, error) {
+		bootMu.Lock()
+		defer bootMu.Unlock()
 		return struct{}{}, sys.FinishProvision(in.SenderPub, in.Sealed)
 	}))
 	srv.Handle("Instance.RunJob", rpc.Typed(func(in JobRequest) (JobResponse, error) {

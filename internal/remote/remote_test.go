@@ -11,6 +11,7 @@ import (
 	"salus/internal/cryptoutil"
 	"salus/internal/fpga"
 	"salus/internal/manufacturer"
+	"salus/internal/rpc"
 	"salus/internal/sched"
 	"salus/internal/sgx"
 )
@@ -260,10 +261,18 @@ func TestKeyClientDoesNotRetryRejections(t *testing.T) {
 type clusterDeployment struct {
 	systems []*core.System
 	sch     *sched.Scheduler
+	srv     *rpc.Server
 	addr    string
 }
 
 func newClusterDeployment(t testing.TB, n int, kernel accel.Kernel) *clusterDeployment {
+	t.Helper()
+	return newClusterDeploymentTiming(t, n, kernel, core.Timing{})
+}
+
+// newClusterDeploymentTiming is newClusterDeployment with explicit device
+// timing (a zero Timing defaults to FastTiming inside core.NewSystem).
+func newClusterDeploymentTiming(t testing.TB, n int, kernel accel.Kernel, timing core.Timing) *clusterDeployment {
 	t.Helper()
 	mfr, err := manufacturer.New()
 	if err != nil {
@@ -288,6 +297,7 @@ func newClusterDeployment(t testing.TB, n int, kernel accel.Kernel) *clusterDepl
 			DNA:          fpga.DNA(fmt.Sprintf("CLUSTER-%02d", i)),
 			Manufacturer: mfr,
 			KeyService:   kc,
+			Timing:       timing,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -300,7 +310,7 @@ func newClusterDeployment(t testing.TB, n int, kernel accel.Kernel) *clusterDepl
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { srv.Close() })
-	return &clusterDeployment{systems: systems, sch: sch, addr: addr}
+	return &clusterDeployment{systems: systems, sch: sch, srv: srv, addr: addr}
 }
 
 func (d *clusterDeployment) expectations() []client.Expectations {

@@ -2,7 +2,14 @@
 // stack (§5.2, Figure 6). The paper leverages gRPC "for easy development
 // and extension"; this reproduction implements the same role on the
 // standard library: length-prefixed JSON frames over TCP, a method-table
-// server, and a concurrent-safe client.
+// server, and a multiplexing client.
+//
+// Both ends are fully concurrent. The server dispatches every request on
+// its own goroutine (responses are serialised by a per-connection write
+// lock, so a slow handler never blocks a fast one). The client matches
+// responses to calls through an ID → pending-call map, so any number of
+// concurrent Calls share one connection without head-of-line blocking —
+// a long-running job RPC does not delay a stats poll on the same socket.
 //
 // Security posture matches the paper's: RPC transports are *untrusted*.
 // Everything sensitive that crosses them is independently protected —
@@ -26,15 +33,25 @@ import (
 // MaxFrame bounds a single message (a U200 bitstream plus headroom).
 const MaxFrame = 64 << 20
 
+// maxInFlightPerConn bounds how many handler goroutines one connection may
+// have running at once; further requests queue in the read loop. It keeps
+// a hostile or buggy peer from ballooning the server with one socket.
+const maxInFlightPerConn = 64
+
 // Errors.
 var (
 	ErrFrameTooLarge = errors.New("rpc: frame exceeds maximum size")
 	ErrClosed        = errors.New("rpc: connection closed")
-	// ErrBroken marks a client whose wire framing desynced mid-call
-	// (timeout, short read, response-ID mismatch): the bytes of the dead
-	// call may still be in flight, so the connection cannot be reused.
-	// It wraps ErrClosed so retry layers treat it as a transport failure.
+	// ErrBroken marks a client whose wire stream desynced (read failure,
+	// undecodable frame, response ID matching no call): the connection
+	// cannot be trusted to frame correctly any more, so every pending and
+	// subsequent Call fails fast and the caller re-dials. It wraps
+	// ErrClosed so retry layers treat it as a transport failure.
 	ErrBroken = fmt.Errorf("rpc: transport desynced, client unusable: %w", ErrClosed)
+	// ErrTimeout marks a call abandoned after the SetTimeout deadline. The
+	// connection itself stays usable: the reply, if it arrives late, is
+	// matched by ID and discarded.
+	ErrTimeout = errors.New("rpc: call timed out")
 )
 
 // ServerError is an application-level failure reported by a handler. It is
@@ -109,8 +126,10 @@ func readFrame(r io.Reader, v any) error {
 // Handler serves one method: decode params, do work, return a result.
 type Handler func(params json.RawMessage) (any, error)
 
-// Server dispatches requests to registered handlers, one goroutine per
-// connection, requests on a connection served in order.
+// Server dispatches requests to registered handlers. Every request runs on
+// its own goroutine; responses on a connection are serialised by a write
+// lock and may arrive in any order (clients match them by ID). Handlers
+// touching shared state must therefore synchronise themselves.
 type Server struct {
 	mu       sync.RWMutex
 	handlers map[string]Handler
@@ -194,7 +213,9 @@ func (s *Server) Listen(addr string) (string, error) {
 }
 
 func (s *Server) serveConn(conn net.Conn) {
+	var handlers sync.WaitGroup
 	defer func() {
+		handlers.Wait()
 		conn.Close()
 		s.lnMu.Lock()
 		delete(s.conns, conn)
@@ -202,18 +223,33 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
+	var wmu sync.Mutex // serialises response frames from concurrent handlers
+	sem := make(chan struct{}, maxInFlightPerConn)
 	for {
 		var req Request
 		if err := readFrame(br, &req); err != nil {
 			return
 		}
-		resp := s.dispatch(req)
-		if err := writeFrame(bw, resp); err != nil {
-			return
-		}
-		if err := bw.Flush(); err != nil {
-			return
-		}
+		sem <- struct{}{}
+		handlers.Add(1)
+		go func(req Request) {
+			defer func() {
+				<-sem
+				handlers.Done()
+			}()
+			resp := s.dispatch(req)
+			wmu.Lock()
+			err := writeFrame(bw, resp)
+			if err == nil {
+				err = bw.Flush()
+			}
+			wmu.Unlock()
+			if err != nil {
+				// The response stream is dead; tear the connection down so
+				// the read loop stops feeding it.
+				conn.Close()
+			}
+		}(req)
 	}
 }
 
@@ -250,24 +286,36 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// Client is a connection to a Server. Safe for concurrent use; calls on
-// one client are serialised on the wire. A mid-call transport failure
-// (timeout, short read/write, mismatched response ID) permanently breaks
-// the client: the framing may be desynced, so instead of letting the next
-// call read a dead call's bytes, every subsequent Call fails fast with
+// Client is a multiplexing connection to a Server. Safe for concurrent
+// use: every Call registers in an ID → pending-call map and a single
+// reader goroutine routes each response frame to its caller, so
+// concurrent Calls overlap on the wire instead of queueing behind each
+// other.
+//
+// A timed-out call (see SetTimeout) is abandoned, not fatal: its ID moves
+// to an abandoned set and the late reply, if any, is discarded on arrival.
+// Only genuine stream desync — a read failure, an undecodable frame, or a
+// response ID matching neither a pending nor an abandoned call — breaks
+// the client; then every pending and subsequent Call fails fast with
 // ErrBroken and the caller re-dials.
 type Client struct {
-	mu      sync.Mutex
-	conn    net.Conn
-	br      *bufio.Reader
-	bw      *bufio.Writer
-	next    uint64
-	timeout time.Duration
-	broken  bool
+	conn net.Conn
+
+	wmu sync.Mutex // serialises request frames
+	bw  *bufio.Writer
+
+	mu        sync.Mutex
+	pending   map[uint64]chan Response
+	abandoned map[uint64]struct{}
+	next      uint64
+	timeout   time.Duration
+	err       error // sticky: first fatal error (ErrBroken... or ErrClosed)
+	closed    bool
 }
 
-// SetTimeout bounds every subsequent Call's total wire time (send +
-// receive); zero restores blocking behaviour.
+// SetTimeout bounds how long every subsequent Call waits for its response;
+// zero restores blocking behaviour. Unlike a socket deadline, expiry
+// abandons only the one call — the connection stays usable.
 func (c *Client) SetTimeout(d time.Duration) {
 	c.mu.Lock()
 	c.timeout = d
@@ -280,20 +328,70 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}, nil
+	c := &Client{
+		conn:      conn,
+		bw:        bufio.NewWriter(conn),
+		pending:   make(map[uint64]chan Response),
+		abandoned: make(map[uint64]struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop is the client's single response reader: it routes every frame
+// to its pending call by ID, discards late replies to abandoned calls, and
+// breaks the client on anything it cannot account for.
+func (c *Client) readLoop() {
+	br := bufio.NewReader(c.conn)
+	for {
+		body, err := readRawFrame(br)
+		if err != nil {
+			c.fatal(fmt.Errorf("%w: read: %w", ErrBroken, err))
+			return
+		}
+		var resp Response
+		if err := json.Unmarshal(body, &resp); err != nil {
+			// The frame cannot be attributed to any call; its owner would
+			// hang forever if we dropped it silently.
+			c.fatal(fmt.Errorf("%w: decode response: %w", ErrBroken, err))
+			return
+		}
+		c.mu.Lock()
+		if ch, ok := c.pending[resp.ID]; ok {
+			delete(c.pending, resp.ID)
+			c.mu.Unlock()
+			ch <- resp // buffered; the caller may have raced to timeout
+			continue
+		}
+		if _, ok := c.abandoned[resp.ID]; ok {
+			delete(c.abandoned, resp.ID)
+			c.mu.Unlock()
+			continue
+		}
+		c.mu.Unlock()
+		c.fatal(fmt.Errorf("%w: response id %d matches no call", ErrBroken, resp.ID))
+		return
+	}
+}
+
+// fatal records the client's first terminal error, closes the socket, and
+// fails every pending call by closing its channel.
+func (c *Client) fatal(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+	c.mu.Unlock()
+	c.conn.Close()
 }
 
 // Call invokes method with params and decodes the result into result
-// (which may be nil to discard).
+// (which may be nil to discard). Concurrent Calls share the connection.
 func (c *Client) Call(method string, params any, result any) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn == nil {
-		return ErrClosed
-	}
-	if c.broken {
-		return ErrBroken
-	}
 	// Marshal before touching the wire: an encode failure must not poison
 	// the connection.
 	var raw json.RawMessage
@@ -304,35 +402,73 @@ func (c *Client) Call(method string, params any, result any) error {
 		}
 		raw = body
 	}
-	if c.timeout > 0 {
-		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
-			return err
-		}
-		defer c.conn.SetDeadline(time.Time{})
+
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return err
 	}
 	c.next++
-	req := Request{ID: c.next, Method: method, Params: raw}
-	if err := writeFrame(c.bw, req); err != nil {
-		if errors.Is(err, ErrFrameTooLarge) {
-			return err // rejected before any bytes hit the wire
-		}
-		return c.fail(err)
+	id := c.next
+	ch := make(chan Response, 1)
+	c.pending[id] = ch
+	timeout := c.timeout
+	c.mu.Unlock()
+
+	req := Request{ID: id, Method: method, Params: raw}
+	c.wmu.Lock()
+	err := writeFrame(c.bw, req)
+	if err == nil {
+		err = c.bw.Flush()
 	}
-	if err := c.bw.Flush(); err != nil {
-		return c.fail(err)
-	}
-	body, err := readRawFrame(c.br)
+	c.wmu.Unlock()
 	if err != nil {
-		return c.fail(err)
+		if errors.Is(err, ErrFrameTooLarge) {
+			// Rejected before any bytes hit the wire: the call simply never
+			// happened.
+			c.mu.Lock()
+			delete(c.pending, id)
+			c.mu.Unlock()
+			return err
+		}
+		ferr := fmt.Errorf("%w: write: %w", ErrBroken, err)
+		c.fatal(ferr)
+		return ferr
 	}
-	var resp Response
-	if err := json.Unmarshal(body, &resp); err != nil {
-		// The frame was consumed whole; the stream stays in sync.
-		return fmt.Errorf("rpc: decode response: %w", err)
+
+	var expired <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		expired = timer.C
 	}
-	if resp.ID != req.ID {
-		return c.fail(fmt.Errorf("rpc: response id %d for request %d", resp.ID, req.ID))
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return c.lastErr()
+		}
+		return decodeResult(resp, result)
+	case <-expired:
+		c.mu.Lock()
+		if _, still := c.pending[id]; still {
+			delete(c.pending, id)
+			c.abandoned[id] = struct{}{}
+			c.mu.Unlock()
+			return fmt.Errorf("%w: %s after %v", ErrTimeout, method, timeout)
+		}
+		c.mu.Unlock()
+		// The response raced in (or the client broke) just as the timer
+		// fired; the channel resolves immediately either way.
+		resp, ok := <-ch
+		if !ok {
+			return c.lastErr()
+		}
+		return decodeResult(resp, result)
 	}
+}
+
+func decodeResult(resp Response, result any) error {
 	if resp.Error != "" {
 		return &ServerError{Msg: resp.Error}
 	}
@@ -342,22 +478,27 @@ func (c *Client) Call(method string, params any, result any) error {
 	return nil
 }
 
-// fail marks the client broken after a mid-call transport error and closes
-// the socket so the peer sees the abort. Callers hold c.mu.
-func (c *Client) fail(err error) error {
-	c.broken = true
-	c.conn.Close()
-	return fmt.Errorf("%w: %w", ErrBroken, err)
-}
-
-// Close shuts the connection down.
-func (c *Client) Close() error {
+func (c *Client) lastErr() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.conn == nil {
+	if c.err != nil {
+		return c.err
+	}
+	return ErrClosed
+}
+
+// Close shuts the connection down; pending calls fail with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
-	err := c.conn.Close()
-	c.conn = nil
-	return err
+	c.closed = true
+	if c.err == nil {
+		c.err = ErrClosed
+	}
+	c.mu.Unlock()
+	c.fatal(ErrClosed) // drains pending, closes the socket; keeps the first recorded error
+	return nil
 }

@@ -231,21 +231,23 @@ func TestCallTimeout(t *testing.T) {
 	}
 }
 
-func TestClientBrokenAfterTimeout(t *testing.T) {
-	// After a timed-out call the response bytes may still arrive later; a
-	// reused connection would hand them to the NEXT call. The client must
-	// refuse reuse instead.
+func TestTimeoutAbandonsCallWithoutBreakingClient(t *testing.T) {
+	// A timed-out call is abandoned, not fatal: its late reply is matched
+	// by ID and discarded, and the connection keeps serving other calls.
 	srv := NewServer()
-	block := make(chan struct{})
+	release := make(chan struct{})
 	srv.Handle("hang", Typed(func(struct{}) (struct{}, error) {
-		<-block
+		<-release
 		return struct{}{}, nil
+	}))
+	srv.Handle("echo", Typed(func(in echoArgs) (echoReply, error) {
+		return echoReply{Msg: in.Msg, N: in.N + 1}, nil
 	}))
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer func() { close(block); srv.Close() }()
+	defer srv.Close()
 
 	c, err := Dial(addr)
 	if err != nil {
@@ -253,17 +255,69 @@ func TestClientBrokenAfterTimeout(t *testing.T) {
 	}
 	defer c.Close()
 	c.SetTimeout(100 * time.Millisecond)
-	if err := c.Call("hang", struct{}{}, nil); !errors.Is(err, ErrBroken) {
-		t.Fatalf("timed-out call: err = %v, want ErrBroken", err)
+	if err := c.Call("hang", struct{}{}, nil); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("timed-out call: err = %v, want ErrTimeout", err)
 	}
-	// Fail fast, well under the 100 ms deadline: no wire traffic at all.
+	// The connection is still healthy for other methods.
+	var out echoReply
+	if err := c.Call("echo", echoArgs{N: 1}, &out); err != nil || out.N != 2 {
+		t.Fatalf("client dead after timeout: %v %+v", err, out)
+	}
+	// Now let the hung handler answer: the late reply's ID matches the
+	// abandoned call and must be dropped, not handed to the next Call and
+	// not treated as stream desync.
+	close(release)
+	time.Sleep(50 * time.Millisecond)
+	for i := 0; i < 4; i++ {
+		if err := c.Call("echo", echoArgs{N: i}, &out); err != nil || out.N != i+1 {
+			t.Fatalf("call %d after late reply: %v %+v", i, err, out)
+		}
+	}
+}
+
+func TestConcurrentCallsOverlapOnOneConnection(t *testing.T) {
+	// Head-of-line blocking regression test: a slow handler must not delay
+	// a fast call sharing the same client and connection.
+	const slowFor = 400 * time.Millisecond
+	srv := NewServer()
+	srv.Handle("slow", Typed(func(struct{}) (struct{}, error) {
+		time.Sleep(slowFor)
+		return struct{}{}, nil
+	}))
+	srv.Handle("echo", Typed(func(in echoArgs) (echoReply, error) {
+		return echoReply{Msg: in.Msg, N: in.N + 1}, nil
+	}))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	slowDone := make(chan time.Time, 1)
+	go func() {
+		if err := c.Call("slow", struct{}{}, nil); err != nil {
+			t.Error(err)
+		}
+		slowDone <- time.Now()
+	}()
+	time.Sleep(30 * time.Millisecond) // the slow request is on the wire
+	var out echoReply
 	start := time.Now()
-	err = c.Call("hang", struct{}{}, nil)
-	if !errors.Is(err, ErrBroken) || !errors.Is(err, ErrClosed) {
-		t.Errorf("call on broken client: err = %v, want ErrBroken wrapping ErrClosed", err)
+	if err := c.Call("echo", echoArgs{N: 7}, &out); err != nil || out.N != 8 {
+		t.Fatalf("fast call: %v %+v", err, out)
 	}
-	if d := time.Since(start); d > 50*time.Millisecond {
-		t.Errorf("broken client took %v to fail", d)
+	fastDone := time.Now()
+	if d := fastDone.Sub(start); d > slowFor/2 {
+		t.Errorf("fast call took %v behind a %v handler: still head-of-line blocked", d, slowFor)
+	}
+	if slowAt := <-slowDone; !fastDone.Before(slowAt) {
+		t.Error("fast call finished after the slow call: no overlap on the shared connection")
 	}
 }
 

@@ -4,34 +4,91 @@
 // process; this package reproduces that shape in the simulation. Each
 // booted *core.System — its register file and DMA windows a single shared
 // resource — gets one worker goroutine and a bounded job queue, and the
-// scheduler routes every submitted workload to the least-loaded device
-// whose deployed CL matches the workload's kernel. Session reuse
-// (core.System's cached data-key epoch) means a device that stays busy
-// pays the 4-write secure key/IV exchange once per rekey epoch instead of
-// once per job; only the single secure start command remains on the
-// per-job hot path.
+// scheduler routes every submitted workload to the least-loaded healthy
+// device whose deployed CL matches the workload's kernel (ties broken
+// round-robin). Session reuse (core.System's cached data-key epoch) means
+// a device that stays busy pays the 4-write secure key/IV exchange once
+// per rekey epoch instead of once per job; only the single secure start
+// command remains on the per-job hot path.
+//
+// # Failure awareness
+//
+// A board can die mid-epoch — a wedged shell, a desynced secure channel, a
+// yanked cable. Without countermeasures, least-loaded routing *amplifies*
+// such a failure: the sick device fails jobs fast, its queue stays short,
+// and the scheduler rewards it with ever more traffic. Two mechanisms
+// prevent that:
+//
+//   - Quarantine: consecutive device faults (errors matching
+//     core.ErrDeviceFault or an rpc transport failure — see Retryable)
+//     trip a per-device circuit breaker. A quarantined device is skipped
+//     by routing until its window expires, then admitted exactly one
+//     probe job; success readmits it, failure re-quarantines with an
+//     exponentially longer window.
+//   - Bounded retry: a job that fails with a retryable fault is
+//     re-dispatched to another device, up to MaxRetries hops. Jobs the
+//     CL or enclave deliberately rejected (unknown kernel, sealed-input
+//     authentication failure) are never retried — resubmitting them
+//     cannot help and would forge extra failures.
+//
+// Every submitted job's future resolves exactly once, quarantined or not,
+// retried or not, even across Close.
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"salus/internal/accel"
 	"salus/internal/core"
 	"salus/internal/cryptoutil"
 	"salus/internal/fpga"
+	"salus/internal/rpc"
 )
 
-// DefaultQueueDepth bounds each device's pending-job queue. A full queue
-// applies backpressure: Submit blocks until the worker drains a slot.
-const DefaultQueueDepth = 32
+// Defaults for Config's zero values.
+const (
+	// DefaultQueueDepth bounds each device's pending-job queue. A full
+	// queue applies backpressure: Submit blocks until the worker drains a
+	// slot.
+	DefaultQueueDepth = 32
+	// DefaultMaxRetries is how many times one job is re-dispatched after a
+	// retryable device fault before its future resolves with the error.
+	DefaultMaxRetries = 2
+	// DefaultQuarantineAfter is the consecutive-fault count that trips a
+	// device's circuit breaker.
+	DefaultQuarantineAfter = 3
+	// DefaultQuarantineBase is the first quarantine window; each failed
+	// probe doubles it up to DefaultQuarantineMax.
+	DefaultQuarantineBase = 250 * time.Millisecond
+	DefaultQuarantineMax  = 8 * time.Second
+)
 
-// Config tunes a Scheduler.
+// Config tunes a Scheduler. Zero values select the defaults above.
 type Config struct {
-	// QueueDepth is the per-device pending-job bound; DefaultQueueDepth
-	// when zero or negative.
+	// QueueDepth is the per-device pending-job bound.
 	QueueDepth int
+	// MaxRetries bounds re-dispatches per job after retryable faults;
+	// negative disables retry entirely.
+	MaxRetries int
+	// QuarantineAfter is the consecutive device-fault count that
+	// quarantines a device.
+	QuarantineAfter int
+	// QuarantineBase and QuarantineMax bound the exponential quarantine
+	// window.
+	QuarantineBase time.Duration
+	QuarantineMax  time.Duration
+}
+
+// Retryable reports whether err is a transport- or session-level fault —
+// the device misbehaved, the job itself was never refused — and so the job
+// may succeed on another device. Deliberate rejections (unknown kernel,
+// sealed-input authentication, attestation failures) are not retryable.
+func Retryable(err error) bool {
+	return errors.Is(err, core.ErrDeviceFault) || errors.Is(err, rpc.ErrClosed)
 }
 
 // Future is the handle returned by Submit: it resolves when the job
@@ -64,70 +121,173 @@ func errFuture(err error) *Future {
 
 // job is one queue entry; exactly one of the two shapes is populated.
 type job struct {
-	fut *Future
+	fut      *Future
+	kernel   string
+	attempts int // re-dispatches so far
 
 	// Plaintext path (Submit).
 	w accel.Workload
 
 	// Sealed path (SubmitSealed).
 	sealed      bool
-	kernelName  string
 	params      [4]uint64
 	sealedInput []byte
 }
 
-// device is one registered system plus its queue and counters.
+// device is one registered system plus its queue, counters, and health.
 type device struct {
 	sys    *core.System
 	jobs   chan *job
 	queued atomic.Int64
+	// senders counts in-flight queue sends so Close can wait for them
+	// before closing the channel (sends happen outside the scheduler
+	// lock — see route).
+	senders sync.WaitGroup
 
 	completed atomic.Uint64
 	failed    atomic.Uint64
+	retried   atomic.Uint64 // jobs this device faulted that were re-dispatched
+
+	// Health / circuit breaker.
+	hmu         sync.Mutex
+	consecFault int
+	quarantined bool
+	probing     bool // the single half-open probe job is in flight
+	probeAt     time.Time
+	backoff     time.Duration
 }
 
-func (d *device) run(wg *sync.WaitGroup) {
-	defer wg.Done()
+// admissible reports whether routing may hand the device new work: healthy,
+// or quarantined with an expired window and no probe already in flight.
+func (d *device) admissible(now time.Time) bool {
+	d.hmu.Lock()
+	defer d.hmu.Unlock()
+	if !d.quarantined {
+		return true
+	}
+	return !d.probing && !now.Before(d.probeAt)
+}
+
+// beginProbe marks the chosen quarantined device as running its one
+// half-open probe; a no-op on healthy devices.
+func (d *device) beginProbe() {
+	d.hmu.Lock()
+	if d.quarantined {
+		d.probing = true
+	}
+	d.hmu.Unlock()
+}
+
+// onSuccess resets the breaker: one good job readmits the device.
+func (d *device) onSuccess() {
+	d.hmu.Lock()
+	d.consecFault, d.quarantined, d.probing, d.backoff = 0, false, false, 0
+	d.hmu.Unlock()
+}
+
+// onFault records a device fault and trips or extends the quarantine: a
+// failed probe re-quarantines immediately with a doubled window; otherwise
+// the breaker trips once consecutive faults reach the threshold.
+func (d *device) onFault(now time.Time, after int, base, max time.Duration) {
+	d.hmu.Lock()
+	d.consecFault++
+	failedProbe := d.probing
+	d.probing = false
+	if failedProbe || d.consecFault >= after {
+		if d.backoff == 0 {
+			d.backoff = base
+		} else if d.backoff < max {
+			d.backoff *= 2
+			if d.backoff > max {
+				d.backoff = max
+			}
+		}
+		d.quarantined = true
+		d.probeAt = now.Add(d.backoff)
+	}
+	d.hmu.Unlock()
+}
+
+func (d *device) run(s *Scheduler) {
+	defer s.wg.Done()
 	for j := range d.jobs {
 		var out []byte
 		var err error
 		if j.sealed {
-			out, err = d.sys.RunJobSealed(j.kernelName, j.params, j.sealedInput)
+			out, err = d.sys.RunJobSealed(j.kernel, j.params, j.sealedInput)
 		} else {
 			out, err = d.sys.RunJob(j.w)
 		}
 		d.queued.Add(-1)
-		if err != nil {
-			d.failed.Add(1)
-		} else {
+		if err == nil {
 			d.completed.Add(1)
+			d.onSuccess()
+			j.fut.resolve(out, nil)
+			continue
 		}
-		j.fut.resolve(out, err)
+		d.failed.Add(1)
+		if Retryable(err) {
+			d.onFault(time.Now(), s.quarantineAfter, s.quarantineBase, s.quarantineMax)
+			if j.attempts < s.maxRetries {
+				j.attempts++
+				d.retried.Add(1)
+				s.redispatch(j, d, err)
+				continue
+			}
+		}
+		j.fut.resolve(nil, err)
 	}
 }
 
 // Scheduler routes jobs to a pool of booted systems.
 //
-// Lock discipline: Submit paths hold mu.RLock only long enough to pick a
-// device and enqueue; Close takes mu.Lock, so it cannot close a queue
-// while a send is in flight — the send-on-closed-channel race is
-// structurally impossible.
+// Lock discipline: routing holds mu.RLock only long enough to pick a
+// device and reserve the send (queued counter + senders group); the
+// channel send itself — which may block under backpressure — happens
+// outside the lock, so a full queue never stalls Register or Close. Close
+// waits for each device's reserved senders before closing its channel, so
+// the send-on-closed-channel race stays structurally impossible.
 type Scheduler struct {
 	mu      sync.RWMutex
 	devices []*device
 	closed  bool
 	wg      sync.WaitGroup
+	rr      atomic.Uint64 // round-robin offset for tie-breaking
 
-	queueDepth int
+	queueDepth      int
+	maxRetries      int
+	quarantineAfter int
+	quarantineBase  time.Duration
+	quarantineMax   time.Duration
 }
 
 // New returns an empty scheduler; add systems with Register.
 func New(cfg Config) *Scheduler {
-	depth := cfg.QueueDepth
-	if depth <= 0 {
-		depth = DefaultQueueDepth
+	s := &Scheduler{
+		queueDepth:      cfg.QueueDepth,
+		maxRetries:      cfg.MaxRetries,
+		quarantineAfter: cfg.QuarantineAfter,
+		quarantineBase:  cfg.QuarantineBase,
+		quarantineMax:   cfg.QuarantineMax,
 	}
-	return &Scheduler{queueDepth: depth}
+	if s.queueDepth <= 0 {
+		s.queueDepth = DefaultQueueDepth
+	}
+	if s.maxRetries == 0 {
+		s.maxRetries = DefaultMaxRetries
+	} else if s.maxRetries < 0 {
+		s.maxRetries = 0
+	}
+	if s.quarantineAfter <= 0 {
+		s.quarantineAfter = DefaultQuarantineAfter
+	}
+	if s.quarantineBase <= 0 {
+		s.quarantineBase = DefaultQuarantineBase
+	}
+	if s.quarantineMax <= 0 {
+		s.quarantineMax = DefaultQuarantineMax
+	}
+	return s
 }
 
 // Register adds a booted system to the pool and starts its worker. The
@@ -149,7 +309,7 @@ func (s *Scheduler) Register(sys *core.System) error {
 	d := &device{sys: sys, jobs: make(chan *job, s.queueDepth)}
 	s.devices = append(s.devices, d)
 	s.wg.Add(1)
-	go d.run(&s.wg)
+	go d.run(s)
 	return nil
 }
 
@@ -165,37 +325,95 @@ func (s *Scheduler) RegisterPipeline(p *core.Pipeline) error {
 	return nil
 }
 
-// pick chooses the registered device with a matching CL and the fewest
-// queued jobs. Callers hold at least mu.RLock.
-func (s *Scheduler) pick(kernelName string) *device {
-	var best *device
-	var bestQ int64
-	for _, d := range s.devices {
-		if d.sys.Package.KernelName != kernelName {
+// pick chooses the admissible device with a matching CL and the fewest
+// queued jobs; equal depths are broken round-robin, so an idle pool
+// spreads work instead of hammering device 0. If every matching device is
+// quarantined, the least-loaded one is picked anyway — degrading beats
+// rejecting, and bounded retries cap the damage. Callers hold at least
+// mu.RLock.
+func (s *Scheduler) pick(kernelName string, exclude *device) *device {
+	n := len(s.devices)
+	if n == 0 {
+		return nil
+	}
+	now := time.Now()
+	start := int(s.rr.Add(1) % uint64(n))
+	var best, fallback *device
+	var bestQ, fallbackQ int64
+	for i := 0; i < n; i++ {
+		d := s.devices[(start+i)%n]
+		if d == exclude || d.sys.Package.KernelName != kernelName {
 			continue
 		}
 		q := d.queued.Load()
+		if fallback == nil || q < fallbackQ {
+			fallback, fallbackQ = d, q
+		}
+		if !d.admissible(now) {
+			continue
+		}
 		if best == nil || q < bestQ {
 			best, bestQ = d, q
 		}
 	}
+	if best == nil {
+		best = fallback
+	}
+	if best != nil {
+		best.beginProbe()
+	}
 	return best
 }
 
-func (s *Scheduler) submit(kernelName string, j *job) *Future {
-	j.fut = &Future{done: make(chan struct{})}
+// route picks a target under mu.RLock and reserves the send: the queue
+// counter is bumped and the caller is registered on the device's sender
+// group, so Close cannot close the queue while the send is still pending.
+// The blocking send itself is the caller's, outside any scheduler lock.
+func (s *Scheduler) route(kernelName string, exclude *device) (*device, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
-		return errFuture(fmt.Errorf("sched: scheduler closed"))
+		return nil, fmt.Errorf("sched: scheduler closed")
 	}
-	d := s.pick(kernelName)
+	d := s.pick(kernelName, exclude)
+	if d == nil && exclude != nil {
+		// Nobody else runs this kernel; the faulting device is still the
+		// only candidate.
+		d = s.pick(kernelName, nil)
+	}
 	if d == nil {
-		return errFuture(fmt.Errorf("sched: no registered device runs kernel %q", kernelName))
+		return nil, fmt.Errorf("sched: no registered device runs kernel %q", kernelName)
 	}
 	d.queued.Add(1)
-	d.jobs <- j // blocks when the queue is full: backpressure
+	d.senders.Add(1)
+	return d, nil
+}
+
+func (s *Scheduler) submit(j *job) *Future {
+	j.fut = &Future{done: make(chan struct{})}
+	d, err := s.route(j.kernel, nil)
+	if err != nil {
+		return errFuture(err)
+	}
+	d.jobs <- j // blocks when the queue is full: backpressure, lock-free
+	d.senders.Done()
 	return j.fut
+}
+
+// redispatch retries a faulted job on another device. Called from worker
+// goroutines, so the send runs on its own goroutine — a worker must never
+// block on a sibling's full queue (two workers doing so to each other
+// would deadlock the pool). Dead ends resolve the future with the fault.
+func (s *Scheduler) redispatch(j *job, from *device, cause error) {
+	d, err := s.route(j.kernel, from)
+	if err != nil {
+		j.fut.resolve(nil, fmt.Errorf("sched: retry %d dead-ended (%v): %w", j.attempts, err, cause))
+		return
+	}
+	go func() {
+		d.jobs <- j
+		d.senders.Done()
+	}()
 }
 
 // Submit queues a plaintext workload (the local data-owner path, like
@@ -204,28 +422,35 @@ func (s *Scheduler) Submit(w accel.Workload) *Future {
 	if w.Kernel == nil {
 		return errFuture(fmt.Errorf("sched: workload has no kernel"))
 	}
-	return s.submit(w.Kernel.Name(), &job{w: w})
+	return s.submit(&job{kernel: w.Kernel.Name(), w: w})
 }
 
 // SubmitSealed queues a sealed job (the remote data-owner path, like
 // System.RunJobSealed). The pool must share one data key — see BootShared
 // — or the job will only decrypt on the device it was sealed for.
 func (s *Scheduler) SubmitSealed(kernelName string, params [4]uint64, sealedInput []byte) *Future {
-	return s.submit(kernelName, &job{
+	return s.submit(&job{
+		kernel:      kernelName,
 		sealed:      true,
-		kernelName:  kernelName,
 		params:      params,
 		sealedInput: sealedInput,
 	})
 }
 
-// DeviceStats is one device's lifetime counters.
+// DeviceStats is one device's lifetime counters and health snapshot.
 type DeviceStats struct {
 	DNA       fpga.DNA
 	Kernel    string
 	Queued    int64
 	Completed uint64
 	Failed    uint64
+	// Retried counts jobs this device faulted that were re-dispatched
+	// elsewhere (they appear in Failed too).
+	Retried uint64
+	// Quarantined reports whether the device's circuit breaker is
+	// currently open; ConsecutiveFaults is its running fault streak.
+	Quarantined       bool
+	ConsecutiveFaults int
 }
 
 // Stats snapshots the pool.
@@ -234,19 +459,27 @@ func (s *Scheduler) Stats() []DeviceStats {
 	defer s.mu.RUnlock()
 	out := make([]DeviceStats, 0, len(s.devices))
 	for _, d := range s.devices {
+		d.hmu.Lock()
+		quarantined, faults := d.quarantined, d.consecFault
+		d.hmu.Unlock()
 		out = append(out, DeviceStats{
-			DNA:       d.sys.Device.DNA(),
-			Kernel:    d.sys.Package.KernelName,
-			Queued:    d.queued.Load(),
-			Completed: d.completed.Load(),
-			Failed:    d.failed.Load(),
+			DNA:               d.sys.Device.DNA(),
+			Kernel:            d.sys.Package.KernelName,
+			Queued:            d.queued.Load(),
+			Completed:         d.completed.Load(),
+			Failed:            d.failed.Load(),
+			Retried:           d.retried.Load(),
+			Quarantined:       quarantined,
+			ConsecutiveFaults: faults,
 		})
 	}
 	return out
 }
 
 // Close stops accepting jobs, drains every queue, and waits for the
-// workers. Already-queued jobs still run; their futures resolve.
+// workers. Already-queued jobs still run; their futures resolve. A job
+// that faults during shutdown resolves with its error instead of
+// retrying.
 func (s *Scheduler) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -254,10 +487,12 @@ func (s *Scheduler) Close() {
 		return
 	}
 	s.closed = true
-	for _, d := range s.devices {
+	devices := s.devices
+	s.mu.Unlock()
+	for _, d := range devices {
+		d.senders.Wait() // reserved sends finish (workers are still draining)
 		close(d.jobs)
 	}
-	s.mu.Unlock()
 	s.wg.Wait()
 }
 

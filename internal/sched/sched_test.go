@@ -5,9 +5,12 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"salus/internal/accel"
+	"salus/internal/channel"
 	"salus/internal/core"
 	"salus/internal/cryptoutil"
 	"salus/internal/fpga"
@@ -266,6 +269,290 @@ func TestConcurrentSubmitters(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// --- Failure injection --------------------------------------------------------
+
+// faultInjector is a switchable broken shell: once Break()ed it corrupts
+// every direct-channel frame (DMA, direct registers) so jobs on its device
+// fail with core.ErrDeviceFault. Secure-channel frames pass untouched —
+// the register-channel counters stay in sync, so a Heal()ed device
+// genuinely recovers, exactly like a board whose PCIe link flapped.
+type faultInjector struct{ broken atomic.Bool }
+
+func (f *faultInjector) Break() { f.broken.Store(true) }
+func (f *faultInjector) Heal()  { f.broken.Store(false) }
+
+func (f *faultInjector) OnLoad(data []byte) []byte  { return data }
+func (f *faultInjector) OnResponse(b []byte) []byte { return b }
+func (f *faultInjector) OnRequest(req []byte) []byte {
+	if !f.broken.Load() {
+		return req
+	}
+	switch channel.MsgType(req) {
+	case channel.MsgDirectReg, channel.MsgMemWrite, channel.MsgMemRead:
+		return []byte{0xFF}
+	}
+	return req
+}
+
+// newFaultyPool boots n Conv systems sharing one key; device 0 carries a
+// faultInjector (harmless until Break is called).
+func newFaultyPool(t testing.TB, n int, latency time.Duration) ([]*core.System, []byte, *faultInjector) {
+	t.Helper()
+	inj := &faultInjector{}
+	timing := core.FastTiming()
+	timing.RealJobLatency = latency
+	systems := make([]*core.System, n)
+	for i := range systems {
+		cfg := core.SystemConfig{
+			Kernel: accel.Conv{},
+			Seed:   int64(700 + i),
+			DNA:    fpga.DNA(fmt.Sprintf("FAULT-%02d", i)),
+			Timing: timing,
+		}
+		if i == 0 {
+			cfg.Interceptor = inj
+		}
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		systems[i] = sys
+	}
+	key, err := BootShared(systems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return systems, key, inj
+}
+
+func findStats(t *testing.T, s *Scheduler, dna fpga.DNA) DeviceStats {
+	t.Helper()
+	for _, ds := range s.Stats() {
+		if ds.DNA == dna {
+			return ds
+		}
+	}
+	t.Fatalf("no stats for device %s", dna)
+	return DeviceStats{}
+}
+
+func TestDeviceBrokenMidRunIsQuarantinedAndJobsRedispatch(t *testing.T) {
+	systems, _, inj := newFaultyPool(t, 3, 2*time.Millisecond)
+	s := New(Config{QueueDepth: 4, QuarantineAfter: 2, QuarantineBase: time.Minute})
+	for _, sys := range systems {
+		if err := s.Register(sys); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer s.Close()
+	sick := systems[0].Device.DNA()
+
+	// Warm phase: the soon-to-fail device completes real work first.
+	for i := 0; i < 6; i++ {
+		if _, err := s.Submit(accel.GenConv(4, 4, 1, int64(i))).Wait(); err != nil {
+			t.Fatalf("warm job %d: %v", i, err)
+		}
+	}
+
+	// Break the device while a stream of jobs is in flight: anything it
+	// holds — including the job mid-execution — must fail over.
+	const jobs = 24
+	futs := make([]*Future, jobs)
+	for i := range futs {
+		futs[i] = s.Submit(accel.GenConv(4, 4, 1, int64(100+i)))
+		if i == 2 {
+			inj.Break()
+		}
+	}
+	for i, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Errorf("job %d lost to a single sick device: %v", i, err)
+		}
+	}
+
+	ds := findStats(t, s, sick)
+	if !ds.Quarantined {
+		t.Errorf("sick device not quarantined: %+v", ds)
+	}
+	if ds.Failed == 0 || ds.Retried == 0 {
+		t.Errorf("sick device stats show no redispatched faults: %+v", ds)
+	}
+	var completed uint64
+	for _, d := range s.Stats() {
+		completed += d.Completed
+	}
+	if completed != jobs+6 {
+		t.Errorf("pool completed %d jobs, want %d", completed, jobs+6)
+	}
+}
+
+func TestThroughputWithOneDeadDeviceWithinQuarterOfHealthyBaseline(t *testing.T) {
+	// Acceptance: a 3-device pool with one permanently failing device must
+	// deliver aggregate throughput within 25% of a healthy 2-device pool,
+	// with every submitted future resolving.
+	const jobs = 48
+	run := func(n int, breakOne bool) time.Duration {
+		systems, _, inj := newFaultyPool(t, n, 4*time.Millisecond)
+		s := New(Config{QueueDepth: 8, QuarantineAfter: 2, QuarantineBase: time.Minute})
+		for _, sys := range systems {
+			if err := s.Register(sys); err != nil {
+				t.Fatal(err)
+			}
+		}
+		defer s.Close()
+		if breakOne {
+			inj.Break()
+		}
+		w := accel.GenConv(4, 4, 1, 7)
+		start := time.Now()
+		futs := make([]*Future, jobs)
+		for i := range futs {
+			futs[i] = s.Submit(w)
+		}
+		for i, f := range futs {
+			if _, err := f.Wait(); err != nil {
+				t.Fatalf("n=%d broken=%v: job %d did not resolve cleanly: %v", n, breakOne, i, err)
+			}
+		}
+		return time.Since(start)
+	}
+
+	healthy := run(2, false) // the (N-1)-device healthy baseline
+	degraded := run(3, true)
+	if limit := healthy + healthy/4; degraded > limit {
+		t.Errorf("degraded 3-device pool took %v, healthy 2-device baseline %v (limit %v): failure amplification",
+			degraded, healthy, limit)
+	}
+}
+
+func TestQuarantinedDeviceIsProbedAndReadmitted(t *testing.T) {
+	systems, _, inj := newFaultyPool(t, 2, 0)
+	s := New(Config{QuarantineAfter: 1, QuarantineBase: 20 * time.Millisecond, QuarantineMax: 50 * time.Millisecond})
+	for _, sys := range systems {
+		if err := s.Register(sys); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer s.Close()
+	sick := systems[0].Device.DNA()
+
+	inj.Break()
+	w := accel.GenConv(4, 4, 1, 3)
+	for i := 0; i < 8 && !findStats(t, s, sick).Quarantined; i++ {
+		if _, err := s.Submit(w).Wait(); err != nil {
+			t.Fatalf("job during breakage should have failed over: %v", err)
+		}
+	}
+	if !findStats(t, s, sick).Quarantined {
+		t.Fatal("broken device never quarantined")
+	}
+	healthyCompleted := findStats(t, s, sick).Completed
+
+	// Heal the board; after the quarantine window the next pick sends it a
+	// probe job and a success readmits it.
+	inj.Heal()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := s.Submit(w).Wait(); err != nil {
+			t.Fatalf("job after heal: %v", err)
+		}
+		ds := findStats(t, s, sick)
+		if !ds.Quarantined && ds.Completed > healthyCompleted {
+			break // readmitted and serving again
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healed device never readmitted: %+v", ds)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestTerminalRejectionsAreNotRetriedOrQuarantined(t *testing.T) {
+	systems, _, _ := newFaultyPool(t, 2, 0)
+	s := New(Config{QuarantineAfter: 1})
+	for _, sys := range systems {
+		if err := s.Register(sys); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer s.Close()
+
+	// A sealed input that fails authentication was rejected deliberately:
+	// no other device could do better, so no retry, no health penalty.
+	_, err := s.SubmitSealed("Conv", [4]uint64{4, 4, 1}, []byte("not a sealed blob")).Wait()
+	if err == nil {
+		t.Fatal("garbage sealed input accepted")
+	}
+	if Retryable(err) {
+		t.Errorf("sealed-input rejection classified retryable: %v", err)
+	}
+	var failed, retried uint64
+	for _, ds := range s.Stats() {
+		failed += ds.Failed
+		retried += ds.Retried
+		if ds.Quarantined {
+			t.Errorf("device %s quarantined by a deliberate rejection", ds.DNA)
+		}
+	}
+	if failed != 1 || retried != 0 {
+		t.Errorf("failed=%d retried=%d, want exactly one terminal failure and zero retries", failed, retried)
+	}
+}
+
+func TestPickSpreadsTiesRoundRobin(t *testing.T) {
+	systems, _ := newPool(t, 3, accel.Conv{})
+	s := newScheduler(t, systems)
+
+	// Strictly sequential jobs on an idle pool: every queue is empty at
+	// pick time, so only the tie-break decides. Least-loaded alone would
+	// send all six to one device.
+	for i := 0; i < 6; i++ {
+		if _, err := s.Submit(accel.GenConv(4, 4, 1, int64(i))).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ds := range s.Stats() {
+		if ds.Completed != 2 {
+			t.Errorf("device %s completed %d of 6 jobs over 3 idle devices, want 2 (tie-break skew)", ds.DNA, ds.Completed)
+		}
+	}
+}
+
+func TestBackpressuredSubmitDoesNotBlockRegister(t *testing.T) {
+	systems, _, _ := newFaultyPool(t, 2, 200*time.Millisecond)
+	s := New(Config{QueueDepth: 1})
+	if err := s.Register(systems[0]); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Saturate the single device: one job running (200 ms), one queued,
+	// one blocked inside the channel send.
+	w := accel.GenConv(4, 4, 1, 5)
+	futs := make(chan *Future, 3)
+	for i := 0; i < 3; i++ {
+		go func() { futs <- s.Submit(w) }()
+	}
+	time.Sleep(20 * time.Millisecond) // let the third send block
+
+	// Register must not wait for the backpressured send to drain.
+	done := make(chan error, 1)
+	go func() { done <- s.Register(systems[1]) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(100 * time.Millisecond):
+		t.Fatal("Register blocked behind a backpressured Submit")
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := (<-futs).Wait(); err != nil {
+			t.Errorf("backpressured job %d: %v", i, err)
+		}
 	}
 }
 
