@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race tier1 ci fmt-check bench bench-sched bench-degraded clean
+.PHONY: all build test vet race tier1 ci fmt-check bench bench-smoke bench-sched bench-degraded bench-fleet clean
 
 all: build test
 
@@ -28,14 +28,19 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # The one-stop verification entry point: formatting, vet, the tier-1 gate,
-# and the failure-path packages (rpc multiplexing, scheduler quarantine,
-# cluster reconnect) under the race detector.
+# and the failure-path packages (rpc multiplexing, scheduler quarantine and
+# lifecycle, fleet elasticity, cluster reconnect) under the race detector.
 ci: fmt-check vet
 	$(GO) build ./... && $(GO) test ./...
-	$(GO) test -race ./internal/sched ./internal/rpc ./internal/remote ./internal/core
+	$(GO) test -race ./internal/fleet ./internal/sched ./internal/rpc ./internal/remote ./internal/core
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark: fast enough for CI, and keeps the
+# bench suite from silently rotting.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Multi-device scheduler throughput (serial baseline vs 1/2/4 devices).
 bench-sched:
@@ -44,6 +49,11 @@ bench-sched:
 # Degraded pool: 3 devices with one permanently broken vs 2 healthy.
 bench-degraded:
 	$(GO) test -run xxx -bench SchedulerDegradedPool -benchtime 100x .
+
+# Fleet elasticity: serial vs parallel vs cached 8-board boot, and hot
+# add/remove cycles under load.
+bench-fleet:
+	$(GO) test -run xxx -bench 'FleetBoot|FleetHotAdd' -benchtime 5x .
 
 clean:
 	$(GO) clean ./...

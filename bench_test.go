@@ -18,6 +18,7 @@ package salus_test
 import (
 	"crypto/ed25519"
 	"crypto/rand"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -31,6 +32,7 @@ import (
 
 	"salus/internal/core"
 	"salus/internal/cryptoutil"
+	"salus/internal/fleet"
 	"salus/internal/fpga"
 	"salus/internal/netlist"
 	"salus/internal/perfmodel"
@@ -585,4 +587,140 @@ func BenchmarkSchedulerDegradedPool(b *testing.B) {
 		inj.broken.Store(true) // boots clean, then the board dies for good
 		run(b, systems)
 	})
+}
+
+// --- Elastic fleet -----------------------------------------------------------
+
+// newBenchFleet assembles a fleet manager for the boot benchmarks.
+func newBenchFleet(b *testing.B, timing core.Timing) *fleet.Manager {
+	b.Helper()
+	m, err := fleet.New(fleet.Config{
+		Kernel:    accel.Conv{},
+		DNAPrefix: "BFLT",
+		Timing:    timing,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkFleetBoot compares booting 8 boards serially, in parallel
+// without the shared caches, and through the fleet manager (parallel boot
+// plus the prepared-bitstream cache and quote pool). RealBootLatency
+// models the ~10 ms the host spends idle-blocked on the ICAP per board —
+// the time parallel boot overlaps. The fleet variant also reports
+// manipulations per 8-board boot: 1 means the toolchain ran once and the
+// other seven boards hit the cache.
+func BenchmarkFleetBoot(b *testing.B) {
+	const k = 8
+	timing := core.FastTiming()
+	timing.RealBootLatency = 10 * time.Millisecond
+
+	freshSystems := func(b *testing.B, gen int) []*core.System {
+		systems := make([]*core.System, k)
+		for i := range systems {
+			sys, err := core.NewSystem(core.SystemConfig{
+				Kernel: accel.Conv{},
+				Seed:   1000,
+				DNA:    fpga.DNA(fmt.Sprintf("BOOT-%03d-%02d", gen, i)),
+				Timing: timing,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			systems[i] = sys
+		}
+		return systems
+	}
+
+	b.Run("serial-8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			systems := freshSystems(b, i)
+			b.StartTimer()
+			if _, err := sched.BootShared(systems); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel-8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			systems := freshSystems(b, i)
+			b.StartTimer()
+			if _, err := sched.BootSharedParallel(systems); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fleet-parallel-cached-8", func(b *testing.B) {
+		manips := 0
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			m := newBenchFleet(b, timing)
+			b.StartTimer()
+			if err := m.BootFleet(k); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			manips += m.PreparedStats().Manipulations
+			m.Close()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(manips)/float64(b.N), "manips/boot")
+	})
+}
+
+// BenchmarkFleetHotAdd measures one grow-then-shrink cycle against a pool
+// that is busy serving the whole time: every Add boots through the warm
+// prepared cache while jobs keep flowing, and every Remove drains without
+// losing one.
+func BenchmarkFleetHotAdd(b *testing.B) {
+	timing := core.FastTiming()
+	timing.RealJobLatency = time.Millisecond
+	m := newBenchFleet(b, timing)
+	defer m.Close()
+	if err := m.BootFleet(2); err != nil {
+		b.Fatal(err)
+	}
+
+	w := accel.GenConv(32, 32, 4, 1)
+	stop := make(chan struct{})
+	var pumpErrs atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := m.Scheduler().Submit(w).Wait(); err != nil {
+					pumpErrs.Add(1)
+					return
+				}
+			}
+		}()
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dna, err := m.Add()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Remove(dna); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	if n := pumpErrs.Load(); n > 0 {
+		b.Fatalf("%d background jobs failed during scaling", n)
+	}
 }

@@ -22,12 +22,17 @@ import (
 
 	"salus"
 	"salus/internal/client"
+	"salus/internal/fpga"
 	"salus/internal/remote"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("salus-client: ")
+	if len(os.Args) > 1 && os.Args[1] == "fleet" {
+		runFleet(os.Args[2:])
+		return
+	}
 	instAddr := flag.String("inst", "127.0.0.1:7002", "instance / cluster gateway address")
 	expPath := flag.String("exp", "salus-expectations.json", "expectations file from salus-server")
 	kernel := flag.String("kernel", "Conv", "kernel the instance deployed")
@@ -71,6 +76,78 @@ func main() {
 	}
 	fmt.Printf("offloaded %s: %d input bytes -> %d output bytes (sealed both ways)\n",
 		*kernel, len(w.Input), len(out))
+}
+
+// runFleet is the elastic-operations subcommand: scale the pool up or
+// down, drain or decommission a named board, and inspect membership — all
+// without re-attesting. Growth is safe without an owner round because new
+// boards receive the data key only through the sibling enclave hand-off;
+// the printed stats are the owner's membership audit.
+func runFleet(args []string) {
+	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	instAddr := fs.String("inst", "127.0.0.1:7002", "fleet gateway address")
+	expPath := fs.String("exp", "salus-expectations.json", "expectations file from salus-server")
+	scale := fs.Int("scale", 0, "grow (>0) or shrink (<0) the fleet by this many boards")
+	drain := fs.String("drain", "", "DNA of a board to drain")
+	remove := fs.Bool("remove", false, "with -drain: decommission the board after draining")
+	timeout := fs.Duration("timeout", 30*time.Second, "with -drain: bound on waiting for in-flight jobs")
+	fs.Parse(args)
+
+	raw, err := os.ReadFile(*expPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var exps []client.Expectations
+	if err := json.Unmarshal(raw, &exps); err != nil {
+		log.Fatalf("fleet operations need a cluster expectations file (JSON array): %v", err)
+	}
+	sess, err := remote.DialCluster(*instAddr, exps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	if *scale != 0 {
+		resp, err := sess.Scale(*scale)
+		if err != nil {
+			log.Fatalf("scale: %v", err)
+		}
+		for _, dna := range resp.Added {
+			fmt.Println("added:  ", dna)
+		}
+		for _, dna := range resp.Removed {
+			fmt.Println("removed:", dna)
+		}
+	}
+	if *drain != "" {
+		if _, err := sess.DrainDevice(fpga.DNA(*drain), *timeout, *remove); err != nil {
+			log.Fatalf("drain: %v", err)
+		}
+		if *remove {
+			fmt.Println("decommissioned:", *drain)
+		} else {
+			fmt.Println("drained:", *drain)
+		}
+	}
+
+	stats, err := sess.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fleet membership (%d boards):\n", len(stats))
+	for _, ds := range stats {
+		state := "healthy"
+		switch {
+		case ds.Permanent:
+			state = "WRITTEN OFF"
+		case ds.Quarantined:
+			state = "QUARANTINED"
+		case ds.Draining:
+			state = "draining"
+		}
+		fmt.Printf("  %-12s %-10s completed=%-4d failed=%-3d retried=%-3d queued=%-3d %s\n",
+			ds.DNA, ds.Kernel, ds.Completed, ds.Failed, ds.Retried, ds.Queued, state)
+	}
 }
 
 // runCluster attests a device pool and drives concurrent sealed jobs plus

@@ -3,10 +3,13 @@
 // (boot / provision / jobs), with the instance's SM enclave fetching the
 // device key over TCP — the deployment topology of §6.1, on localhost.
 //
-// With -devices N (N > 1) it hosts a device pool instead: N independently
-// manufactured FPGAs behind one cluster gateway and a job scheduler. The
-// data owner attests every device, provisions one shared data key, and
-// sealed jobs fan out to the least-loaded board.
+// With -devices N (N > 1) it hosts an elastic device pool instead: N
+// independently manufactured FPGAs behind one fleet gateway and a job
+// scheduler. The data owner attests every device, provisions one shared
+// data key, and sealed jobs fan out to the least-loaded board. The pool is
+// elastic at runtime: Cluster.Scale / Cluster.Drain RPCs grow and shrink
+// it between -min-devices and -max-devices, and with -auto-replace the
+// fleet manager swaps out permanently quarantined boards on its own.
 //
 // It writes the data owner's expectations (measurements, digest H, DNA,
 // root) to -exp so cmd/salus-client can verify the platform from "outside".
@@ -24,11 +27,20 @@ import (
 	"salus"
 	"salus/internal/client"
 	"salus/internal/core"
+	"salus/internal/fleet"
 	"salus/internal/fpga"
 	"salus/internal/manufacturer"
 	"salus/internal/remote"
 	"salus/internal/sched"
 )
+
+// ceiling renders the -max-devices bound for the banner.
+func ceiling(max int) string {
+	if max <= 0 {
+		return "∞"
+	}
+	return fmt.Sprintf("%d", max)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -42,6 +54,10 @@ func main() {
 	retries := flag.Int("retries", sched.DefaultMaxRetries, "cluster mode: re-dispatch attempts for device faults (negative disables)")
 	quarAfter := flag.Int("quarantine-after", sched.DefaultQuarantineAfter, "cluster mode: consecutive faults before a device is quarantined")
 	quarBase := flag.Duration("quarantine", sched.DefaultQuarantineBase, "cluster mode: initial quarantine window (doubles per relapse)")
+	permAfter := flag.Int("permanent-after", 3, "cluster mode: failed probes at max backoff before a board is written off (0 disables)")
+	minDevices := flag.Int("min-devices", 1, "cluster mode: floor the fleet may never shrink below")
+	maxDevices := flag.Int("max-devices", 0, "cluster mode: ceiling the fleet may never grow beyond (0 = unbounded)")
+	autoReplace := flag.Duration("auto-replace", 0, "cluster mode: scan interval for replacing written-off boards (0 disables)")
 	flag.Parse()
 
 	k, ok := salus.KernelByName(*kernel)
@@ -98,31 +114,49 @@ func main() {
 		}
 		fmt.Printf("deployed %s CL (digest %x...)\n", *kernel, sys.Package.Digest[:8])
 	} else {
-		systems := make([]*core.System, *devices)
-		exps := make([]client.Expectations, *devices)
-		for i := range systems {
-			systems[i] = newSystem(fpga.DNA(fmt.Sprintf("POOL-%02d", i)))
-			exps[i] = systems[i].Expectations()
-		}
-		sch := sched.New(sched.Config{
-			QueueDepth:      *queue,
-			MaxRetries:      *retries,
-			QuarantineAfter: *quarAfter,
-			QuarantineBase:  *quarBase,
+		mgr, err := fleet.New(fleet.Config{
+			Kernel:       k,
+			DNAPrefix:    "POOL",
+			Manufacturer: mfr,
+			KeyService:   kc,
+			Timing:       salus.FastTiming(),
+			Scheduler: sched.Config{
+				QueueDepth:      *queue,
+				MaxRetries:      *retries,
+				QuarantineAfter: *quarAfter,
+				QuarantineBase:  *quarBase,
+				PermanentAfter:  *permAfter,
+			},
+			MinDevices: *minDevices,
+			MaxDevices: *maxDevices,
+			OnReplace: func(old, new fpga.DNA) {
+				log.Printf("auto-replaced written-off board %s with %s", old, new)
+			},
 		})
-		defer sch.Close()
-		clSrv, clBound, err := remote.ServeCluster(systems, sch, *instAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer mgr.Close()
+		clSrv, systems, clBound, err := remote.ServeFleet(mgr, *devices, *instAddr)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer clSrv.Close()
-		fmt.Println("cluster gateway:    ", clBound)
+		if *autoReplace > 0 {
+			mgr.StartAutoReplace(*autoReplace)
+			fmt.Println("auto-replace every: ", *autoReplace)
+		}
+		fmt.Println("fleet gateway:      ", clBound)
+		exps := make([]client.Expectations, len(systems))
+		for i, sys := range systems {
+			exps[i] = sys.Expectations()
+		}
 		expJSON, err = json.MarshalIndent(exps, "", "  ")
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("deployed %s CL on %d devices (digest %x...)\n",
-			*kernel, *devices, systems[0].Package.Digest[:8])
+		fmt.Printf("deployed %s CL on %d devices (digest %x...), elastic %d..%s\n",
+			*kernel, *devices, systems[0].Package.Digest[:8], *minDevices, ceiling(*maxDevices))
 	}
 
 	if err := os.WriteFile(*expPath, expJSON, 0o644); err != nil {

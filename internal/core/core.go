@@ -57,6 +57,15 @@ type Timing struct {
 	// observable in real time. Zero (the default, and FastTiming) disables
 	// it; only the multi-device scheduler benchmarks set it.
 	RealJobLatency time.Duration
+
+	// RealBootLatency is the RealJobLatency analogue for secure boot: real
+	// wall-clock time the host spends blocked on the board while the shell
+	// programs the encrypted partial bitstream through the ICAP. Like
+	// RealJobLatency it is slept, not charged to the virtual clock, so the
+	// speedup of booting a fleet in parallel (internal/fleet) is observable
+	// in real time. Zero (the default) disables it; only the fleet
+	// benchmarks set it.
+	RealBootLatency time.Duration
 }
 
 // DefaultTiming returns the calibration used to regenerate Figure 9 on a

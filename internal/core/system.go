@@ -56,6 +56,19 @@ type SystemConfig struct {
 	// multi-tenant multiplexing). Requires Manufacturer — the service that
 	// holds this device's key.
 	Device *fpga.Device
+
+	// HostPlatform reuses an existing TEE host platform instead of creating
+	// a fresh one. Fleet members on one physical host must share a platform:
+	// SGX local attestation (EREPORT/EGETKEY) only verifies across enclaves
+	// of the same platform, and the fleet's sibling data-key hand-off
+	// (System.AdoptDataKeyFrom) depends on it.
+	HostPlatform *sgx.Platform
+	// Prepared shares a fleet-wide manipulated-bitstream cache between SM
+	// enclaves (see smapp.PreparedCache). Nil disables caching.
+	Prepared *smapp.PreparedCache
+	// Quotes shares one manufacturer quote exchange between SM enclaves of
+	// the same measurement (see smapp.QuotePool). Nil disables pooling.
+	Quotes *smapp.QuotePool
 }
 
 // System is an assembled deployment: every party of the threat model plus
@@ -127,9 +140,13 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	} else if dev.Profile().Name != cfg.Profile.Name {
 		return nil, fmt.Errorf("core: device profile %s does not match config %s", dev.Profile().Name, cfg.Profile.Name)
 	}
-	host, err := sgx.NewPlatform(mfr.Authority())
-	if err != nil {
-		return nil, err
+	host := cfg.HostPlatform
+	if host == nil {
+		var err error
+		host, err = sgx.NewPlatform(mfr.Authority())
+		if err != nil {
+			return nil, err
+		}
 	}
 	develop := DevelopCL
 	if cfg.ProtectedMemory {
@@ -163,6 +180,8 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		ToolSlowdown:     cfg.Timing.ToolSlowdown,
 		QuoteGen:         cfg.Timing.SMQuoteGen,
 		QuoteVerify:      cfg.Timing.SMQuoteVerify,
+		Prepared:         cfg.Prepared,
+		Quotes:           cfg.Quotes,
 	})
 	if err != nil {
 		return nil, err
@@ -263,25 +282,16 @@ func (s *System) SecureBootWithKey(dataKey []byte) (*BootReport, error) {
 	}
 
 	// Client-side verification of the deferred quote.
-	s.chargeWAN(func() { s.Timing.WAN.RoundTrip(s.Clock, 2048, 256) })
-	s.Clock.Advance(s.Timing.UserQuoteVerify)
-	s.Trace.Record(trace.PhaseUserQuoteVerify, s.Timing.UserQuoteVerify)
-	dataPub, err := ver.VerifyRAResponse(nonce, quote)
+	dataPub, err := s.VerifyQuote(ver, nonce, quote)
 	if err != nil {
-		return nil, fmt.Errorf("core: step ⑧ (client verification): %w", err)
+		return nil, err
 	}
 
 	// The platform is attested end to end: provision the data key.
 	if dataKey == nil {
 		dataKey = cryptoutil.RandomKey(16)
 	}
-	s.dataKey = append([]byte(nil), dataKey...)
-	senderPub, sealed, err := client.ProvisionDataKey(dataPub, s.dataKey)
-	if err != nil {
-		return nil, err
-	}
-	s.chargeWAN(func() { s.Timing.WAN.Send(s.Clock, len(sealed)) })
-	if err := s.FinishProvision(senderPub, sealed); err != nil {
+	if err := s.ProvisionKey(dataPub, dataKey); err != nil {
 		return nil, err
 	}
 
@@ -330,6 +340,12 @@ func (s *System) BootAndQuote(nonce []byte) (sgx.Quote, error) {
 	if err := s.SM.DeployCL(s.Package.Encoded); err != nil {
 		return sgx.Quote{}, fmt.Errorf("core: step ⑤⑥ (deployment): %w", err)
 	}
+	// On a physical board the host now blocks until the ICAP finishes
+	// programming the partition; model that idle wait for real so parallel
+	// fleet boot overlap is measurable (see Timing.RealBootLatency).
+	if s.Timing.RealBootLatency > 0 {
+		time.Sleep(s.Timing.RealBootLatency)
+	}
 
 	// ⑦ CL attestation.
 	if err := s.SM.AttestCL(); err != nil {
@@ -353,6 +369,81 @@ func (s *System) BootAndQuote(nonce []byte) (sgx.Quote, error) {
 func (s *System) FinishProvision(senderPub, sealed []byte) error {
 	if err := s.User.ReceiveDataKey(senderPub, sealed); err != nil {
 		return fmt.Errorf("core: data key provisioning: %w", err)
+	}
+	s.booted = true
+	return nil
+}
+
+// VerifyQuote runs the data owner's verification of the deferred quote,
+// charging the WAN round trip and the client's DCAP verification to this
+// system's clock, and returns the enclave key the data key must be sealed
+// to. Split out of SecureBootWithKey so a fleet booter can run the
+// instance side of many boots first and only provision once every chain
+// verified (sched.BootShared's atomicity).
+func (s *System) VerifyQuote(ver *client.Verifier, nonce []byte, quote sgx.Quote) ([]byte, error) {
+	s.chargeWAN(func() { s.Timing.WAN.RoundTrip(s.Clock, 2048, 256) })
+	s.Clock.Advance(s.Timing.UserQuoteVerify)
+	s.Trace.Record(trace.PhaseUserQuoteVerify, s.Timing.UserQuoteVerify)
+	dataPub, err := ver.VerifyRAResponse(nonce, quote)
+	if err != nil {
+		return nil, fmt.Errorf("core: step ⑧ (client verification): %w", err)
+	}
+	return dataPub, nil
+}
+
+// ProvisionKey seals the 16-byte data key to the enclave key from a
+// verified RA response and delivers it, completing the boot. It is the
+// owner-side tail of SecureBootWithKey, split out so a fleet manager that
+// verified the quote itself (internal/fleet) can provision without
+// re-running the whole flow.
+func (s *System) ProvisionKey(dataPub, dataKey []byte) error {
+	if len(dataKey) != 16 {
+		return fmt.Errorf("core: data key must be 16 bytes, got %d", len(dataKey))
+	}
+	senderPub, sealed, err := client.ProvisionDataKey(dataPub, dataKey)
+	if err != nil {
+		return err
+	}
+	s.chargeWAN(func() { s.Timing.WAN.Send(s.Clock, len(sealed)) })
+	if err := s.FinishProvision(senderPub, sealed); err != nil {
+		return err
+	}
+	s.dataKey = append([]byte(nil), dataKey...)
+	return nil
+}
+
+// AdoptDataKeyFrom completes a hot-added system's boot by transferring the
+// data key from an already-provisioned sibling via the user enclaves' local
+// attestation hand-off (userapp/share.go) instead of a client round trip.
+// The recipient must have finished its instance-side boot (BootAndQuote) so
+// its CL chain is attested; the donor enclave refuses unless the recipient
+// runs the identical user program on the same platform. The host-side key
+// copy stays empty — in this mode only enclaves ever hold the key, so jobs
+// must arrive pre-sealed (RunJobSealed / the scheduler path).
+func (s *System) AdoptDataKeyFrom(donor *System) error {
+	if s.booted {
+		return fmt.Errorf("core: system already booted")
+	}
+	if donor == nil || !donor.Booted() {
+		return fmt.Errorf("core: donor system is not booted")
+	}
+	res, err := s.User.CLResult()
+	if err != nil {
+		return fmt.Errorf("core: adopt data key: recipient CL not attested: %w", err)
+	}
+	if !res.Attested {
+		return fmt.Errorf("core: adopt data key: recipient CL attestation failed")
+	}
+	req, err := s.User.RequestDataKey(donor.User.Measurement())
+	if err != nil {
+		return fmt.Errorf("core: adopt data key: %w", err)
+	}
+	grant, err := donor.User.ShareDataKey(req)
+	if err != nil {
+		return fmt.Errorf("core: adopt data key: %w", err)
+	}
+	if err := s.User.AcceptDataKey(grant); err != nil {
+		return fmt.Errorf("core: adopt data key: %w", err)
 	}
 	s.booted = true
 	return nil

@@ -1,0 +1,528 @@
+// Package fleet manages the device lifecycle of a Salus pool: hot add, hot
+// remove/drain, parallel secure boot, and replacement of permanently
+// quarantined boards — the elastic layer between "N simulated boards" and a
+// production-scale serving deployment.
+//
+// The manager owns the machinery the whole fleet shares:
+//
+//   - one manufacturer service and one TEE host platform — fleet members
+//     live on one physical host, and SGX local attestation (the basis of
+//     the sibling data-key hand-off) only verifies within a platform;
+//   - one smapp.PreparedCache and smapp.QuotePool, so the Figure-9
+//     dominant boot stages (bitstream verification, manipulation, quote
+//     generation) are paid once per CL instead of once per board;
+//   - one sched.Scheduler, which keeps serving while membership changes.
+//
+// Every member deploys the same kernel at the same place-and-route seed, so
+// all boards share one CL digest and the prepared-bitstream cache hits on
+// every boot after the first.
+//
+// # Key modes
+//
+// A fleet booted locally by the data owner (BootFleet) holds the shared
+// data key, and a hot-added board boots with SecureBootWithKey — the owner
+// path. A fleet booted through the remote gateway never sees the key (the
+// client provisions it straight into the enclaves); there a hot-added
+// board's user enclave receives the key from an already-attested sibling
+// enclave via local attestation (core.AdoptDataKeyFrom), so elasticity
+// never requires the owner to reveal the key to the host.
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"salus/internal/accel"
+	"salus/internal/client"
+	"salus/internal/core"
+	"salus/internal/fpga"
+	"salus/internal/manufacturer"
+	"salus/internal/netlist"
+	"salus/internal/sched"
+	"salus/internal/sgx"
+	"salus/internal/shell"
+	"salus/internal/smapp"
+	"salus/internal/trace"
+)
+
+// DefaultDrainTimeout bounds how long a decommission waits for in-flight
+// jobs before removing the device anyway (the leftover jobs still resolve).
+const DefaultDrainTimeout = 30 * time.Second
+
+// Config assembles a fleet manager.
+type Config struct {
+	// Kernel every member deploys. Required.
+	Kernel accel.Kernel
+	// Seed is the fixed place-and-route seed; keeping it identical across
+	// members is what makes the prepared-bitstream cache effective.
+	Seed int64
+	// Timing applies to every member (zero selects core.FastTiming).
+	Timing core.Timing
+	// Profile selects the device model (zero selects the default).
+	Profile netlist.DeviceProfile
+	// DNAPrefix names manufactured boards ("<prefix>-NN"); default "FLEET".
+	DNAPrefix string
+
+	// Manufacturer reuses an existing service (e.g. one already serving
+	// RPC); nil creates a fresh one.
+	Manufacturer *manufacturer.Service
+	// KeyService overrides how SM enclaves reach key distribution (e.g. the
+	// RPC client from internal/remote). Nil means the in-process service.
+	KeyService smapp.KeyService
+	// Intercept optionally installs a compromised shell on specific boards
+	// (attack experiments and fault-injection tests).
+	Intercept func(fpga.DNA) shell.Interceptor
+
+	// Scheduler tunes the underlying pool; see sched.Config. Set
+	// PermanentAfter there for auto-replace to ever trigger.
+	Scheduler sched.Config
+	// DrainTimeout bounds Remove/Replace drains; zero selects the default.
+	DrainTimeout time.Duration
+	// MinDevices refuses Remove below this floor (zero: no floor).
+	// MaxDevices refuses Add beyond this ceiling (zero: no ceiling);
+	// Replace may exceed it by one transiently so capacity never dips.
+	MinDevices, MaxDevices int
+
+	// OnReplace is called by the auto-replace loop after each successful
+	// replacement (optional; must be fast and concurrency-safe).
+	OnReplace func(old, new fpga.DNA)
+}
+
+// Manager owns a fleet's lifecycle on top of a sched.Scheduler.
+type Manager struct {
+	cfg      Config
+	mfr      *manufacturer.Service
+	host     *sgx.Platform
+	prepared *smapp.PreparedCache
+	quotes   *smapp.QuotePool
+	sch      *sched.Scheduler
+
+	bootTrace *trace.Log // merged per-device boot traces (Figure-9 fleet report)
+
+	mu      sync.Mutex
+	members map[fpga.DNA]*core.System
+	key     []byte // shared data key (owner mode); nil in sibling mode
+	seq     int
+	pending int // spawned but not yet adopted
+	closed  bool
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New assembles an empty fleet; boot members with BootFleet or the
+// Spawn/Adopt pair (remote gateway path), then grow and shrink at will.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Kernel == nil {
+		return nil, fmt.Errorf("fleet: no kernel configured")
+	}
+	if cfg.DNAPrefix == "" {
+		cfg.DNAPrefix = "FLEET"
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = DefaultDrainTimeout
+	}
+	mfr := cfg.Manufacturer
+	if mfr == nil {
+		var err error
+		mfr, err = manufacturer.New()
+		if err != nil {
+			return nil, err
+		}
+	}
+	host, err := sgx.NewPlatform(mfr.Authority())
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{
+		cfg:       cfg,
+		mfr:       mfr,
+		host:      host,
+		prepared:  smapp.NewPreparedCache(),
+		quotes:    smapp.NewQuotePool(),
+		sch:       sched.New(cfg.Scheduler),
+		bootTrace: trace.New(),
+		members:   make(map[fpga.DNA]*core.System),
+		stopCh:    make(chan struct{}),
+	}, nil
+}
+
+// Scheduler exposes the underlying pool for job submission.
+func (m *Manager) Scheduler() *sched.Scheduler { return m.sch }
+
+// BootTrace returns the merged per-device boot trace.
+func (m *Manager) BootTrace() *trace.Log { return m.bootTrace }
+
+// PreparedStats and QuoteStats snapshot the shared boot caches.
+func (m *Manager) PreparedStats() smapp.PreparedStats { return m.prepared.Stats() }
+func (m *Manager) QuoteStats() smapp.QuoteStats       { return m.quotes.Stats() }
+
+// Key returns the shared data key in owner mode, nil in sibling mode.
+func (m *Manager) Key() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.key
+}
+
+// Members lists current member DNAs (order unspecified).
+func (m *Manager) Members() []fpga.DNA {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]fpga.DNA, 0, len(m.members))
+	for dna := range m.members {
+		out = append(out, dna)
+	}
+	return out
+}
+
+// System returns the member with the DNA, or nil.
+func (m *Manager) System(dna fpga.DNA) *core.System {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.members[dna]
+}
+
+// Stats snapshots the scheduler's per-device counters.
+func (m *Manager) Stats() []sched.DeviceStats { return m.sch.Stats() }
+
+// spawn manufactures a board and assembles its (unbooted) system around the
+// fleet's shared manufacturer, platform, and boot caches.
+func (m *Manager) spawn(ignoreCap bool) (*core.System, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("fleet: manager closed")
+	}
+	if !ignoreCap && m.cfg.MaxDevices > 0 && len(m.members)+m.pending >= m.cfg.MaxDevices {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("fleet: at capacity (%d devices)", m.cfg.MaxDevices)
+	}
+	dna := fpga.DNA(fmt.Sprintf("%s-%02d", m.cfg.DNAPrefix, m.seq))
+	m.seq++
+	m.pending++
+	m.mu.Unlock()
+
+	cfg := core.SystemConfig{
+		Kernel:       m.cfg.Kernel,
+		Seed:         m.cfg.Seed,
+		DNA:          dna,
+		Timing:       m.cfg.Timing,
+		Profile:      m.cfg.Profile,
+		Manufacturer: m.mfr,
+		KeyService:   m.cfg.KeyService,
+		HostPlatform: m.host,
+		Prepared:     m.prepared,
+		Quotes:       m.quotes,
+	}
+	if m.cfg.Intercept != nil {
+		cfg.Interceptor = m.cfg.Intercept(dna)
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		m.unspawn()
+		return nil, err
+	}
+	return sys, nil
+}
+
+func (m *Manager) unspawn() {
+	m.mu.Lock()
+	if m.pending > 0 {
+		m.pending--
+	}
+	m.mu.Unlock()
+}
+
+// Spawn creates one unbooted member-to-be. The remote gateway path uses
+// this: the data owner attests and provisions the spawned systems over RPC,
+// then the gateway Adopts them.
+func (m *Manager) Spawn() (*core.System, error) { return m.spawn(false) }
+
+// SpawnN creates k unbooted systems.
+func (m *Manager) SpawnN(k int) ([]*core.System, error) {
+	systems := make([]*core.System, 0, k)
+	for i := 0; i < k; i++ {
+		sys, err := m.Spawn()
+		if err != nil {
+			for range systems {
+				m.unspawn()
+			}
+			return nil, err
+		}
+		systems = append(systems, sys)
+	}
+	return systems, nil
+}
+
+// Adopt registers an externally booted system (e.g. provisioned through the
+// remote gateway) as a fleet member and folds its boot trace into the
+// fleet report.
+func (m *Manager) Adopt(sys *core.System) error {
+	if sys == nil {
+		return fmt.Errorf("fleet: nil system")
+	}
+	dna := sys.Device.DNA()
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return fmt.Errorf("fleet: manager closed")
+	}
+	if _, dup := m.members[dna]; dup {
+		m.mu.Unlock()
+		return fmt.Errorf("fleet: device %s already a member", dna)
+	}
+	m.mu.Unlock()
+	if err := m.sch.Register(sys); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.members[dna] = sys
+	if m.pending > 0 {
+		m.pending--
+	}
+	m.mu.Unlock()
+	m.bootTrace.Merge(sys.Trace)
+	return nil
+}
+
+// BootFleet spawns and securely boots k members in parallel with one shared
+// data key (owner mode), registering all of them. Atomic like
+// sched.BootShared: a single board failing mid-boot fails the whole call
+// and no board holds the key.
+func (m *Manager) BootFleet(k int) error {
+	if k <= 0 {
+		return fmt.Errorf("fleet: boot of %d devices", k)
+	}
+	systems, err := m.SpawnN(k)
+	if err != nil {
+		return err
+	}
+	key, err := sched.BootSharedParallel(systems)
+	if err != nil {
+		for range systems {
+			m.unspawn()
+		}
+		return err
+	}
+	m.mu.Lock()
+	m.key = key
+	m.mu.Unlock()
+	for _, sys := range systems {
+		if err := m.Adopt(sys); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pickDonor returns a booted member for the sibling hand-off, preferring
+// healthy boards over quarantined or draining ones.
+func (m *Manager) pickDonor() *core.System {
+	bad := make(map[fpga.DNA]bool)
+	for _, ds := range m.sch.Stats() {
+		if ds.Permanent || ds.Draining || ds.Quarantined {
+			bad[ds.DNA] = true
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var fallback *core.System
+	for dna, sys := range m.members {
+		if !sys.Booted() {
+			continue
+		}
+		if bad[dna] {
+			fallback = sys
+			continue
+		}
+		return sys
+	}
+	return fallback
+}
+
+// bootSibling boots sys without the data key: run the instance-side boot,
+// verify the cascaded chain locally (defence in depth — the enclave-level
+// checks in the hand-off are the real gate), and have a sibling enclave
+// hand the key over via local attestation.
+func (m *Manager) bootSibling(sys *core.System) error {
+	donor := m.pickDonor()
+	if donor == nil {
+		return fmt.Errorf("fleet: sibling hand-off needs a booted donor")
+	}
+	ver := client.New(sys.Expectations())
+	nonce := ver.NewNonce()
+	quote, err := sys.BootAndQuote(nonce)
+	if err != nil {
+		return err
+	}
+	if _, err := sys.VerifyQuote(ver, nonce, quote); err != nil {
+		return err
+	}
+	return sys.AdoptDataKeyFrom(donor)
+}
+
+func (m *Manager) add(ignoreCap bool) (fpga.DNA, error) {
+	sys, err := m.spawn(ignoreCap)
+	if err != nil {
+		return "", err
+	}
+	m.mu.Lock()
+	key := m.key
+	m.mu.Unlock()
+	if key != nil {
+		_, err = sys.SecureBootWithKey(key)
+	} else {
+		err = m.bootSibling(sys)
+	}
+	if err != nil {
+		m.unspawn()
+		return "", fmt.Errorf("fleet: hot add %s: %w", sys.Device.DNA(), err)
+	}
+	if err := m.Adopt(sys); err != nil {
+		return "", err
+	}
+	return sys.Device.DNA(), nil
+}
+
+// Add hot-adds one board: manufacture, secure boot (owner mode when the
+// manager holds the shared key, sibling hand-off otherwise), register. The
+// scheduler keeps serving throughout; the new board takes work from the
+// moment Add returns.
+func (m *Manager) Add() (fpga.DNA, error) { return m.add(false) }
+
+// AddSibling hot-adds one board via the sibling enclave hand-off even when
+// the manager holds the key (e.g. to exercise the no-owner-roundtrip path).
+func (m *Manager) AddSibling() (fpga.DNA, error) {
+	sys, err := m.spawn(false)
+	if err != nil {
+		return "", err
+	}
+	if err := m.bootSibling(sys); err != nil {
+		m.unspawn()
+		return "", fmt.Errorf("fleet: hot add %s: %w", sys.Device.DNA(), err)
+	}
+	if err := m.Adopt(sys); err != nil {
+		return "", err
+	}
+	return sys.Device.DNA(), nil
+}
+
+// Drain stops routing to the member and waits (bounded by DrainTimeout)
+// until its accepted jobs have finished. The member stays in the fleet,
+// unroutable, until Removed.
+func (m *Manager) Drain(dna fpga.DNA) error {
+	return m.sch.Drain(dna, m.cfg.DrainTimeout)
+}
+
+// Remove drains and decommissions the member. A drain timeout does not
+// abort the removal (the leftover jobs still resolve — see sched.Remove);
+// dropping below MinDevices does.
+func (m *Manager) Remove(dna fpga.DNA) (*core.System, error) {
+	m.mu.Lock()
+	if m.cfg.MinDevices > 0 && len(m.members) <= m.cfg.MinDevices {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("fleet: removal would drop below %d devices", m.cfg.MinDevices)
+	}
+	m.mu.Unlock()
+	sys, err := m.sch.Remove(dna, m.cfg.DrainTimeout)
+	if sys == nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	delete(m.members, dna)
+	m.mu.Unlock()
+	return sys, err
+}
+
+// Replace hot-adds a fresh board and then decommissions dna — add-first, so
+// serving capacity never dips (transiently exceeding MaxDevices by one).
+func (m *Manager) Replace(dna fpga.DNA) (fpga.DNA, error) {
+	m.mu.Lock()
+	_, known := m.members[dna]
+	m.mu.Unlock()
+	if !known {
+		return "", fmt.Errorf("%w: %s", sched.ErrUnknownDevice, dna)
+	}
+	newDNA, err := m.add(true)
+	if err != nil {
+		return "", err
+	}
+	if sys, err := m.sch.Remove(dna, m.cfg.DrainTimeout); sys == nil {
+		return newDNA, err
+	}
+	m.mu.Lock()
+	delete(m.members, dna)
+	m.mu.Unlock()
+	return newDNA, nil
+}
+
+// AutoReplaceOnce scans for permanently quarantined members and replaces
+// each, returning the old→new mapping. Errors don't stop the sweep; the
+// first one is returned after every candidate was attempted.
+func (m *Manager) AutoReplaceOnce() (map[fpga.DNA]fpga.DNA, error) {
+	replaced := make(map[fpga.DNA]fpga.DNA)
+	var firstErr error
+	for _, ds := range m.sch.Stats() {
+		if !ds.Permanent {
+			continue
+		}
+		newDNA, err := m.Replace(ds.DNA)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		replaced[ds.DNA] = newDNA
+		if m.cfg.OnReplace != nil {
+			m.cfg.OnReplace(ds.DNA, newDNA)
+		}
+	}
+	return replaced, firstErr
+}
+
+// StartAutoReplace runs AutoReplaceOnce every interval until Close. Failed
+// sweeps are retried at the next tick.
+func (m *Manager) StartAutoReplace(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.stopCh:
+				return
+			case <-t.C:
+				m.AutoReplaceOnce() //nolint:errcheck // retried next tick
+			}
+		}
+	}()
+}
+
+// RotateRoT invalidates the prepared-bitstream cache and the pooled quote
+// exchange: the next boot regenerates the RoT secrets (fresh Key_attest /
+// Key_session) and performs a fresh manufacturer attestation. Call this
+// when the fleet-shared key material must be considered exposed. Already
+// running members keep their (post-attest rotated) sessions; reboot or
+// Replace them to move them onto the new RoT.
+func (m *Manager) RotateRoT() {
+	m.prepared.Invalidate()
+	m.quotes.Reset()
+}
+
+// Close stops the auto-replace loop and shuts the scheduler down; every
+// queued job still resolves.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.stopOnce.Do(func() { close(m.stopCh) })
+	m.wg.Wait()
+	m.sch.Close()
+}

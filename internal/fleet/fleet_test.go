@@ -1,0 +1,473 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"salus/internal/accel"
+	"salus/internal/channel"
+	"salus/internal/core"
+	"salus/internal/fpga"
+	"salus/internal/sched"
+	"salus/internal/shell"
+	"salus/internal/trace"
+)
+
+func newManager(t testing.TB, cfg Config) *Manager {
+	t.Helper()
+	if cfg.Kernel == nil {
+		cfg.Kernel = accel.Conv{}
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+func runJob(t testing.TB, m *Manager, seed int64) {
+	t.Helper()
+	w := accel.GenConv(4, 4, 1, seed)
+	ref, _ := w.Kernel.Compute(w.Params, w.Input)
+	out, err := m.Scheduler().Submit(w).Wait()
+	if err != nil {
+		t.Fatalf("job: %v", err)
+	}
+	if !bytes.Equal(out, ref) {
+		t.Fatal("fleet output diverges from reference")
+	}
+}
+
+// TestBootFleetSharesOneManipulationAndQuote is the cache acceptance test:
+// across a K-device parallel boot the manipulation toolchain and the SM
+// quote exchange run exactly once, while the per-device encryption — the
+// only genuinely per-board step — runs K times.
+func TestBootFleetSharesOneManipulationAndQuote(t *testing.T) {
+	// A singleton fleet provides the per-boot baseline sample counts (a
+	// phase may record several samples per boot — synthetic DCAP charge
+	// plus measured in-enclave work).
+	solo := newManager(t, Config{DNAPrefix: "SOLO"})
+	if err := solo.BootFleet(1); err != nil {
+		t.Fatal(err)
+	}
+	soloQuoteGen := solo.BootTrace().Count(trace.PhaseSMQuoteGen)
+	soloManip := solo.BootTrace().Count(trace.PhaseBitManipulation)
+	soloDeploy := solo.BootTrace().Count(trace.PhaseCLDeployment)
+	if soloQuoteGen == 0 || soloManip == 0 || soloDeploy == 0 {
+		t.Fatalf("baseline boot recorded no samples (quoteGen=%d manip=%d deploy=%d)",
+			soloQuoteGen, soloManip, soloDeploy)
+	}
+
+	const k = 4
+	m := newManager(t, Config{})
+	if err := m.BootFleet(k); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.Members()); got != k {
+		t.Fatalf("fleet has %d members, want %d", got, k)
+	}
+	if m.Key() == nil {
+		t.Fatal("owner-mode fleet holds no shared key")
+	}
+
+	ps := m.PreparedStats()
+	if ps.Manipulations != 1 || ps.ManipulationHits != k-1 {
+		t.Errorf("manipulations = %d cold / %d hits, want 1 / %d", ps.Manipulations, ps.ManipulationHits, k-1)
+	}
+	if ps.Encryptions != k || ps.EncryptionHits != 0 {
+		t.Errorf("encryptions = %d cold / %d hits, want %d / 0", ps.Encryptions, ps.EncryptionHits, k)
+	}
+	qs := m.QuoteStats()
+	if qs.Generated != 1 || qs.Reused != k-1 {
+		t.Errorf("quotes = %d generated / %d reused, want 1 / %d", qs.Generated, qs.Reused, k-1)
+	}
+	// The merged fleet boot trace tells the same story: manipulation and
+	// quote generation were charged once for the whole fleet (the same
+	// sample count as one boot, not K times it), while deployment — a real
+	// per-board step — scales with K.
+	bt := m.BootTrace()
+	if got := bt.Count(trace.PhaseBitManipulation); got != soloManip {
+		t.Errorf("merged trace records %d manipulation samples, want %d (one boot's worth)", got, soloManip)
+	}
+	if got := bt.Count(trace.PhaseSMQuoteGen); got != soloQuoteGen {
+		t.Errorf("merged trace records %d SM quote-gen samples, want %d (one boot's worth)", got, soloQuoteGen)
+	}
+	if got := bt.Count(trace.PhaseCLDeployment); got != k*soloDeploy {
+		t.Errorf("merged trace records %d deployment samples, want %d", got, k*soloDeploy)
+	}
+
+	for i := 0; i < 2*k; i++ {
+		runJob(t, m, int64(i))
+	}
+}
+
+// TestHotAddWhileServing grows the fleet mid-stream: no job is lost, the
+// new board's boot hits the prepared cache, and it joins the stats without
+// a restart.
+func TestHotAddWhileServing(t *testing.T) {
+	timing := core.FastTiming()
+	timing.RealJobLatency = time.Millisecond
+	m := newManager(t, Config{Timing: timing})
+	if err := m.BootFleet(2); err != nil {
+		t.Fatal(err)
+	}
+
+	const jobs = 40
+	futs := make([]*sched.Future, jobs)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := range futs {
+			futs[i] = m.Scheduler().Submit(accel.GenConv(4, 4, 1, int64(i)))
+		}
+	}()
+
+	time.Sleep(5 * time.Millisecond) // mid-stream
+	before := m.PreparedStats()
+	dna, err := m.Add()
+	if err != nil {
+		t.Fatalf("hot add: %v", err)
+	}
+	wg.Wait()
+	for i, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Errorf("job %d lost across the hot add: %v", i, err)
+		}
+	}
+
+	after := m.PreparedStats()
+	if after.Manipulations != before.Manipulations {
+		t.Errorf("hot add re-ran the manipulation toolchain (%d → %d)", before.Manipulations, after.Manipulations)
+	}
+	if after.ManipulationHits != before.ManipulationHits+1 {
+		t.Errorf("hot add missed the prepared cache (%d → %d hits)", before.ManipulationHits, after.ManipulationHits)
+	}
+	if len(m.Members()) != 3 || m.System(dna) == nil {
+		t.Error("hot-added board missing from membership")
+	}
+	found := false
+	for _, ds := range m.Stats() {
+		if ds.DNA == dna {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("hot-added board missing from scheduler stats")
+	}
+	runJob(t, m, 99)
+}
+
+// TestAddSiblingHandsKeyOverLocally exercises the no-owner-roundtrip grow
+// path: the new board's user enclave receives the data key from an
+// attested sibling enclave over local attestation, and immediately
+// computes correct results on sealed inputs.
+func TestAddSiblingHandsKeyOverLocally(t *testing.T) {
+	m := newManager(t, Config{})
+	if err := m.BootFleet(1); err != nil {
+		t.Fatal(err)
+	}
+	dna, err := m.AddSibling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := m.System(dna)
+	if sys == nil || !sys.Booted() {
+		t.Fatal("sibling-booted board not a booted member")
+	}
+	// The hand-off is enclave-to-enclave: the host never learned the key
+	// for the sibling, yet jobs routed anywhere in the fleet succeed.
+	for i := 0; i < 4; i++ {
+		runJob(t, m, int64(i))
+	}
+	if got := m.BootTrace().Count(trace.PhaseLocalAttest); got == 0 {
+		t.Error("sibling hand-off recorded no local-attestation charge")
+	}
+}
+
+// TestSiblingOnlyFleetAdoptsExternallyBootedMembers drives the gateway
+// shape: systems are spawned unbooted, booted/provisioned externally (here
+// via BootSharedParallel standing in for the remote data owner), adopted,
+// and later growth uses the sibling hand-off because the manager never
+// holds the key.
+func TestSiblingOnlyFleetAdoptsExternallyBootedMembers(t *testing.T) {
+	m := newManager(t, Config{})
+	systems, err := m.SpawnN(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sched.BootSharedParallel(systems); err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range systems {
+		if err := m.Adopt(sys); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Key() != nil {
+		t.Fatal("gateway-mode manager learned the data key")
+	}
+	if _, err := m.Add(); err != nil {
+		t.Fatalf("sibling-mode hot add: %v", err)
+	}
+	if got := len(m.Members()); got != 3 {
+		t.Fatalf("fleet has %d members, want 3", got)
+	}
+	runJob(t, m, 7)
+}
+
+// breaker is the switchable broken shell from the scheduler tests: once
+// tripped it corrupts every direct-channel frame so jobs fault, while
+// secure-channel frames pass and the device can genuinely heal.
+type breaker struct{ broken atomic.Bool }
+
+func (b *breaker) Break() { b.broken.Store(true) }
+
+func (b *breaker) OnLoad(data []byte) []byte  { return data }
+func (b *breaker) OnResponse(p []byte) []byte { return p }
+func (b *breaker) OnRequest(req []byte) []byte {
+	if !b.broken.Load() {
+		return req
+	}
+	switch channel.MsgType(req) {
+	case channel.MsgDirectReg, channel.MsgMemWrite, channel.MsgMemRead:
+		return []byte{0xFF}
+	}
+	return req
+}
+
+// TestAutoReplacePermanentlyQuarantinedBoard is the elasticity acceptance
+// test: a board that dies permanently is detected, replaced by a freshly
+// booted one, and Stats reflects the new membership — all without a
+// restart and without losing a single accepted job.
+func TestAutoReplacePermanentlyQuarantinedBoard(t *testing.T) {
+	inj := &breaker{}
+	var replacedOld, replacedNew fpga.DNA
+	var replaceMu sync.Mutex
+	m := newManager(t, Config{
+		DNAPrefix: "ELAS",
+		Scheduler: sched.Config{
+			QuarantineAfter: 1,
+			QuarantineBase:  time.Millisecond,
+			QuarantineMax:   time.Millisecond,
+			PermanentAfter:  2,
+		},
+		Intercept: func(dna fpga.DNA) shell.Interceptor {
+			if dna == "ELAS-00" {
+				return inj
+			}
+			return nil
+		},
+		OnReplace: func(old, new fpga.DNA) {
+			replaceMu.Lock()
+			replacedOld, replacedNew = old, new
+			replaceMu.Unlock()
+		},
+	})
+	if err := m.BootFleet(2); err != nil {
+		t.Fatal(err)
+	}
+
+	inj.Break()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var sick sched.DeviceStats
+		for _, ds := range m.Stats() {
+			if ds.DNA == "ELAS-00" {
+				sick = ds
+			}
+		}
+		if sick.Permanent {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never latched permanently")
+		}
+		runJob(t, m, 1) // redispatch keeps every job alive while ELAS-00 dies
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	replaced, err := m.AutoReplaceOnce()
+	if err != nil {
+		t.Fatalf("auto replace: %v", err)
+	}
+	newDNA, ok := replaced["ELAS-00"]
+	if !ok {
+		t.Fatalf("dead board not replaced; sweep returned %v", replaced)
+	}
+	replaceMu.Lock()
+	if replacedOld != "ELAS-00" || replacedNew != newDNA {
+		t.Errorf("OnReplace saw %s→%s, want ELAS-00→%s", replacedOld, replacedNew, newDNA)
+	}
+	replaceMu.Unlock()
+
+	// Membership reflects the swap without any restart.
+	if m.System("ELAS-00") != nil {
+		t.Error("dead board still a member")
+	}
+	if m.System(newDNA) == nil {
+		t.Error("replacement not a member")
+	}
+	var dnas []fpga.DNA
+	for _, ds := range m.Stats() {
+		dnas = append(dnas, ds.DNA)
+		if ds.DNA == "ELAS-00" {
+			t.Error("dead board still in scheduler stats")
+		}
+	}
+	if len(dnas) != 2 {
+		t.Errorf("scheduler serves %v, want exactly 2 devices", dnas)
+	}
+	// A second sweep is a no-op.
+	if again, err := m.AutoReplaceOnce(); err != nil || len(again) != 0 {
+		t.Errorf("idle sweep replaced %v (err %v)", again, err)
+	}
+	for i := 0; i < 6; i++ {
+		runJob(t, m, int64(i))
+	}
+}
+
+// TestStartAutoReplaceBackgroundLoop lets the ticker loop do the swap.
+func TestStartAutoReplaceBackgroundLoop(t *testing.T) {
+	inj := &breaker{}
+	m := newManager(t, Config{
+		DNAPrefix: "LOOP",
+		Scheduler: sched.Config{
+			QuarantineAfter: 1,
+			QuarantineBase:  time.Millisecond,
+			QuarantineMax:   time.Millisecond,
+			PermanentAfter:  2,
+		},
+		Intercept: func(dna fpga.DNA) shell.Interceptor {
+			if dna == "LOOP-00" {
+				return inj
+			}
+			return nil
+		},
+	})
+	if err := m.BootFleet(2); err != nil {
+		t.Fatal(err)
+	}
+	m.StartAutoReplace(2 * time.Millisecond)
+
+	inj.Break()
+	deadline := time.Now().Add(10 * time.Second)
+	for m.System("LOOP-00") != nil {
+		if time.Now().After(deadline) {
+			t.Fatal("background loop never replaced the dead board")
+		}
+		runJob(t, m, 1)
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := len(m.Members()); got != 2 {
+		t.Errorf("fleet has %d members after background replace, want 2", got)
+	}
+}
+
+// TestRotateRoTForcesRebuild: after an RoT rotation the next boot must not
+// reuse cached manipulated bitstreams or the pooled quote.
+func TestRotateRoTForcesRebuild(t *testing.T) {
+	m := newManager(t, Config{})
+	if err := m.BootFleet(2); err != nil {
+		t.Fatal(err)
+	}
+	m.RotateRoT()
+	if _, err := m.Add(); err != nil {
+		t.Fatal(err)
+	}
+	ps := m.PreparedStats()
+	if ps.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", ps.Invalidations)
+	}
+	if ps.Manipulations != 2 {
+		t.Errorf("manipulations after rotation = %d, want 2 (cache must not survive)", ps.Manipulations)
+	}
+	qs := m.QuoteStats()
+	if qs.Generated != 2 {
+		t.Errorf("quote generations after rotation = %d, want 2", qs.Generated)
+	}
+	runJob(t, m, 3)
+}
+
+// TestCapacityBounds: MaxDevices refuses growth, MinDevices refuses
+// shrink, and Replace is exempt from the ceiling (add-first swap).
+func TestCapacityBounds(t *testing.T) {
+	m := newManager(t, Config{MinDevices: 2, MaxDevices: 2, DNAPrefix: "CAP"})
+	if err := m.BootFleet(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Add(); err == nil {
+		t.Error("Add beyond MaxDevices succeeded")
+	}
+	if _, err := m.Remove("CAP-00"); err == nil {
+		t.Error("Remove below MinDevices succeeded")
+	}
+	if got := len(m.Members()); got != 2 {
+		t.Fatalf("bounds violated: %d members", got)
+	}
+	newDNA, err := m.Replace("CAP-00")
+	if err != nil {
+		t.Fatalf("replace at capacity: %v", err)
+	}
+	if got := len(m.Members()); got != 2 {
+		t.Errorf("replace changed fleet size to %d", got)
+	}
+	if m.System(newDNA) == nil || m.System("CAP-00") != nil {
+		t.Error("replace membership swap incomplete")
+	}
+	runJob(t, m, 5)
+}
+
+// TestDrainThenRemoveMember covers the manager-level decommission path.
+func TestDrainThenRemoveMember(t *testing.T) {
+	m := newManager(t, Config{DNAPrefix: "RM"})
+	if err := m.BootFleet(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Drain("RM-01"); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := m.Remove("RM-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys == nil || sys.Device.DNA() != "RM-01" {
+		t.Error("Remove returned the wrong system")
+	}
+	if len(m.Members()) != 2 {
+		t.Error("membership not updated after Remove")
+	}
+	if _, err := m.Remove("RM-01"); !errors.Is(err, sched.ErrUnknownDevice) {
+		t.Errorf("double remove: err = %v, want ErrUnknownDevice", err)
+	}
+	if _, err := m.Replace("RM-01"); !errors.Is(err, sched.ErrUnknownDevice) {
+		t.Errorf("replace of removed device: err = %v, want ErrUnknownDevice", err)
+	}
+	runJob(t, m, 11)
+}
+
+// TestManagerValidation covers constructor and close-state errors.
+func TestManagerValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New without a kernel succeeded")
+	}
+	m, err := New(Config{Kernel: accel.Conv{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BootFleet(0); err == nil {
+		t.Error("BootFleet(0) succeeded")
+	}
+	m.Close()
+	if _, err := m.Spawn(); err == nil {
+		t.Error("Spawn after Close succeeded")
+	}
+	if err := m.Adopt(nil); err == nil {
+		t.Error("Adopt(nil) succeeded")
+	}
+}

@@ -66,7 +66,20 @@ func ServeCluster(systems []*core.System, sch *sched.Scheduler, addr string) (*r
 		return nil, "", fmt.Errorf("remote: empty cluster")
 	}
 	srv := rpc.NewServer()
+	handleClusterHandshake(srv, systems, sch.Register)
+	handleClusterServing(srv, sch)
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return nil, "", err
+	}
+	return srv, bound, nil
+}
 
+// handleClusterHandshake installs the idempotent Cluster.Boot and
+// Cluster.Provision handlers over a fixed initial device order. register is
+// called once per device after the whole pool finished provisioning (the
+// scheduler for a plain cluster, fleet adoption for an elastic one).
+func handleClusterHandshake(srv *rpc.Server, systems []*core.System, register func(*core.System) error) {
 	// Handshake state. RPC handlers run concurrently (one goroutine per
 	// request), so every mutation of the pool is serialised here.
 	var (
@@ -123,12 +136,16 @@ func ServeCluster(systems []*core.System, sch *sched.Scheduler, addr string) (*r
 		// failed provisioning never sees a job, and a replayed Provision
 		// never registers a device twice.
 		for ; registered < len(systems); registered++ {
-			if err := sch.Register(systems[registered]); err != nil {
+			if err := register(systems[registered]); err != nil {
 				return struct{}{}, fmt.Errorf("device %d: %w", registered, err)
 			}
 		}
 		return struct{}{}, nil
 	}))
+}
+
+// handleClusterServing installs the steady-state job and stats handlers.
+func handleClusterServing(srv *rpc.Server, sch *sched.Scheduler) {
 	srv.Handle("Cluster.RunJob", rpc.Typed(func(in JobRequest) (JobResponse, error) {
 		out, err := sch.SubmitSealed(in.Kernel, in.Params, in.SealedInput).Wait()
 		if err != nil {
@@ -139,11 +156,6 @@ func ServeCluster(systems []*core.System, sch *sched.Scheduler, addr string) (*r
 	srv.Handle("Cluster.Stats", rpc.Typed(func(struct{}) (ClusterStatsResponse, error) {
 		return ClusterStatsResponse{Devices: sch.Stats()}, nil
 	}))
-	bound, err := srv.Listen(addr)
-	if err != nil {
-		return nil, "", err
-	}
-	return srv, bound, nil
 }
 
 // Reconnect policy for ClusterSession: how many dial-and-retry rounds one

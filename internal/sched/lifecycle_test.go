@@ -1,0 +1,269 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"salus/internal/accel"
+	"salus/internal/core"
+	"salus/internal/fpga"
+)
+
+func TestWaitTimeout(t *testing.T) {
+	f := &Future{done: make(chan struct{})}
+	if _, err := f.WaitTimeout(0); !errors.Is(err, ErrWaitTimeout) {
+		t.Errorf("poll on pending future: err = %v, want ErrWaitTimeout", err)
+	}
+	if _, err := f.WaitTimeout(5 * time.Millisecond); !errors.Is(err, ErrWaitTimeout) {
+		t.Errorf("timed wait on pending future: err = %v, want ErrWaitTimeout", err)
+	}
+	f.resolve([]byte("out"), nil)
+	// The future stays live across timeouts: the result is still observable.
+	out, err := f.WaitTimeout(time.Second)
+	if err != nil || string(out) != "out" {
+		t.Errorf("after resolve: out=%q err=%v", out, err)
+	}
+	if out, err := f.WaitTimeout(0); err != nil || string(out) != "out" {
+		t.Errorf("poll after resolve: out=%q err=%v", out, err)
+	}
+}
+
+// bootBreaker corrupts the encrypted bitstream on its way into the shell,
+// so the device's secure boot fails at deployment/attestation.
+type bootBreaker struct{}
+
+func (bootBreaker) OnLoad(data []byte) []byte {
+	if len(data) == 0 {
+		return data
+	}
+	out := append([]byte(nil), data...)
+	out[len(out)/2] ^= 0xFF
+	return out
+}
+func (bootBreaker) OnRequest(req []byte) []byte { return req }
+func (bootBreaker) OnResponse(b []byte) []byte  { return b }
+
+// TestBootSharedAtomicOnPartialFailure is the satellite regression for the
+// shared-key distribution: when one board of the fleet fails mid-boot, no
+// sibling may end up holding the half-distributed key.
+func TestBootSharedAtomicOnPartialFailure(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		name := "serial"
+		if parallel {
+			name = "parallel"
+		}
+		t.Run(name, func(t *testing.T) {
+			systems := make([]*core.System, 3)
+			for i := range systems {
+				cfg := core.SystemConfig{
+					Kernel: accel.Conv{},
+					Seed:   int64(900 + i),
+					DNA:    fpga.DNA(fmt.Sprintf("ATOM-%02d", i)),
+					Timing: core.FastTiming(),
+				}
+				if i == 1 {
+					cfg.Interceptor = bootBreaker{}
+				}
+				sys, err := core.NewSystem(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				systems[i] = sys
+			}
+			boot := BootShared
+			if parallel {
+				boot = BootSharedParallel
+			}
+			if _, err := boot(systems); err == nil {
+				t.Fatal("BootShared succeeded with a sabotaged board")
+			}
+			// Atomicity: the healthy siblings must not have been provisioned.
+			for i, sys := range systems {
+				if sys.Booted() {
+					t.Errorf("device %d holds the shared key after a partial-failure boot", i)
+				}
+			}
+		})
+	}
+}
+
+func TestBootSharedParallelPoolServesJobs(t *testing.T) {
+	systems := make([]*core.System, 4)
+	for i := range systems {
+		sys, err := core.NewSystem(core.SystemConfig{
+			Kernel: accel.Conv{},
+			Seed:   int64(950 + i),
+			DNA:    fpga.DNA(fmt.Sprintf("PAR-%02d", i)),
+			Timing: core.FastTiming(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		systems[i] = sys
+	}
+	if _, err := BootSharedParallel(systems); err != nil {
+		t.Fatal(err)
+	}
+	s := newScheduler(t, systems)
+	w := accel.GenConv(4, 4, 1, 7)
+	ref, _ := w.Kernel.Compute(w.Params, w.Input)
+	out, err := s.Submit(w).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(ref) {
+		t.Error("parallel-booted pool output diverges from reference")
+	}
+}
+
+// TestDrainUnderLoadLosesNoJobs is the hot-remove acceptance test: drain a
+// device mid-stream and assert every accepted job resolves with a result —
+// never a lost future — while the pool keeps serving.
+func TestDrainUnderLoadLosesNoJobs(t *testing.T) {
+	systems, _, _ := newFaultyPool(t, 3, 2*time.Millisecond)
+	s := newScheduler(t, systems)
+	target := systems[0].Device.DNA()
+
+	const jobs = 60
+	futs := make([]*Future, 0, jobs)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < jobs; i++ {
+			f := s.Submit(accel.GenConv(4, 4, 1, int64(i)))
+			mu.Lock()
+			futs = append(futs, f)
+			mu.Unlock()
+		}
+	}()
+
+	time.Sleep(10 * time.Millisecond) // let the queues fill mid-stream
+	if err := s.Drain(target, 10*time.Second); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	ds := findStats(t, s, target)
+	if !ds.Draining {
+		t.Error("drained device not marked draining")
+	}
+	if ds.Queued != 0 {
+		t.Errorf("drained device still has %d queued jobs", ds.Queued)
+	}
+	wg.Wait()
+
+	for i, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Errorf("job %d lost to the drain: %v", i, err)
+		}
+	}
+
+	// Decommission and check membership without a restart.
+	sys, err := s.Remove(target, time.Second)
+	if err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if sys != systems[0] {
+		t.Error("Remove returned the wrong system")
+	}
+	if got := len(s.Stats()); got != 2 {
+		t.Errorf("pool has %d members after Remove, want 2", got)
+	}
+	// The drained board rejects nothing it accepted, and new work still
+	// flows to the survivors.
+	if _, err := s.Submit(accel.GenConv(4, 4, 1, 99)).Wait(); err != nil {
+		t.Errorf("post-remove submission failed: %v", err)
+	}
+}
+
+func TestDrainAndRemoveUnknownDevice(t *testing.T) {
+	systems, _ := newPool(t, 1, accel.Conv{})
+	s := newScheduler(t, systems)
+	if err := s.Drain("NO-SUCH-DNA", time.Second); !errors.Is(err, ErrUnknownDevice) {
+		t.Errorf("Drain err = %v, want ErrUnknownDevice", err)
+	}
+	if _, err := s.Remove("NO-SUCH-DNA", time.Second); !errors.Is(err, ErrUnknownDevice) {
+		t.Errorf("Remove err = %v, want ErrUnknownDevice", err)
+	}
+}
+
+// TestCloseDuringRedispatchResolvesAllFutures is the satellite regression
+// guard: Close racing active redispatch must leave no future unresolved and
+// no goroutine stuck.
+func TestCloseDuringRedispatchResolvesAllFutures(t *testing.T) {
+	systems, _, inj := newFaultyPool(t, 3, time.Millisecond)
+	s := New(Config{QueueDepth: 8})
+	for _, sys := range systems {
+		if err := s.Register(sys); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	inj.Break() // device 0 faults everything → constant redispatch traffic
+	const jobs = 40
+	futs := make([]*Future, jobs)
+	for i := range futs {
+		futs[i] = s.Submit(accel.GenConv(4, 4, 1, int64(i)))
+	}
+	time.Sleep(5 * time.Millisecond) // some retries now mid-flight
+	s.Close()
+
+	for i, f := range futs {
+		// Every future must resolve promptly — result or deliberate error,
+		// never a hang. WaitTimeout keeps a regression from wedging go test.
+		if _, err := f.WaitTimeout(10 * time.Second); errors.Is(err, ErrWaitTimeout) {
+			t.Fatalf("job %d future never resolved after Close", i)
+		}
+	}
+}
+
+// TestPermanentQuarantineLatches drives a dead board through its probe
+// ladder until the breaker latches, then checks it is never routed again.
+func TestPermanentQuarantineLatches(t *testing.T) {
+	systems, _, inj := newFaultyPool(t, 2, 0)
+	s := New(Config{
+		QuarantineAfter: 1,
+		QuarantineBase:  time.Millisecond,
+		QuarantineMax:   time.Millisecond,
+		PermanentAfter:  2,
+	})
+	for _, sys := range systems {
+		if err := s.Register(sys); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(s.Close)
+	sick := systems[0].Device.DNA()
+
+	inj.Break()
+	deadline := time.Now().Add(10 * time.Second)
+	for !findStats(t, s, sick).Permanent {
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never latched permanently")
+		}
+		if _, err := s.Submit(accel.GenConv(4, 4, 1, 1)).Wait(); err != nil {
+			t.Fatalf("job lost while the pool degrades: %v", err)
+		}
+		time.Sleep(2 * time.Millisecond) // let the probe window expire
+	}
+
+	// A latched device is invisible to routing: the healthy sibling takes
+	// everything, including after the injector heals (no probe ever fires).
+	inj.Heal()
+	before := findStats(t, s, sick)
+	for i := 0; i < 10; i++ {
+		if _, err := s.Submit(accel.GenConv(4, 4, 1, int64(i))).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := findStats(t, s, sick)
+	if after.Completed != before.Completed || after.Failed != before.Failed {
+		t.Error("permanently quarantined device still receives work")
+	}
+	if !after.Permanent || !after.Quarantined {
+		t.Error("permanent flag cleared unexpectedly")
+	}
+}

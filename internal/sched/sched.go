@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"salus/internal/accel"
+	"salus/internal/client"
 	"salus/internal/core"
 	"salus/internal/cryptoutil"
 	"salus/internal/fpga"
@@ -81,7 +82,25 @@ type Config struct {
 	// window.
 	QuarantineBase time.Duration
 	QuarantineMax  time.Duration
+	// PermanentAfter is how many half-open probes must fail at the
+	// QuarantineMax backoff ceiling before the breaker latches permanently
+	// (the device is never probed or routed to again, and a fleet manager
+	// may replace it). Zero or negative disables permanent quarantine.
+	PermanentAfter int
 }
+
+// Lifecycle errors.
+var (
+	// ErrWaitTimeout is returned by Future.WaitTimeout when the deadline
+	// expires first. The job is still running; the future remains valid.
+	ErrWaitTimeout = errors.New("sched: wait timed out")
+	// ErrUnknownDevice is returned by Drain/Remove for a DNA that is not
+	// (or no longer) registered.
+	ErrUnknownDevice = errors.New("sched: unknown device")
+	// ErrDrainTimeout is returned when a drain deadline expires with jobs
+	// still queued. The device stays unroutable; the jobs keep running.
+	ErrDrainTimeout = errors.New("sched: drain deadline exceeded")
+)
 
 // Retryable reports whether err is a transport- or session-level fault —
 // the device misbehaved, the job itself was never refused — and so the job
@@ -108,6 +127,31 @@ func (f *Future) Wait() ([]byte, error) {
 // Done is closed when the result is available; use with select.
 func (f *Future) Done() <-chan struct{} { return f.done }
 
+// WaitTimeout blocks until the job completes or d elapses, whichever comes
+// first; on timeout it returns ErrWaitTimeout and the future stays live —
+// Wait or a later WaitTimeout still observes the eventual result. A
+// non-positive d polls: it returns immediately with the result or
+// ErrWaitTimeout. Fleet drains use this so one wedged job cannot block a
+// decommission forever.
+func (f *Future) WaitTimeout(d time.Duration) ([]byte, error) {
+	if d <= 0 {
+		select {
+		case <-f.done:
+			return f.out, f.err
+		default:
+			return nil, ErrWaitTimeout
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-f.done:
+		return f.out, f.err
+	case <-t.C:
+		return nil, ErrWaitTimeout
+	}
+}
+
 func (f *Future) resolve(out []byte, err error) {
 	f.out, f.err = out, err
 	close(f.done)
@@ -132,6 +176,11 @@ type job struct {
 	sealed      bool
 	params      [4]uint64
 	sealedInput []byte
+
+	// barrier marks a drain sentinel: the worker resolves the future
+	// without touching the device. Because queues are FIFO, its resolution
+	// proves every job accepted before it has finished.
+	barrier bool
 }
 
 // device is one registered system plus its queue, counters, and health.
@@ -148,6 +197,12 @@ type device struct {
 	failed    atomic.Uint64
 	retried   atomic.Uint64 // jobs this device faulted that were re-dispatched
 
+	// draining stops routing to this device while its queue runs dry
+	// (Drain/Remove). closeOnce arbitrates queue closure between Remove and
+	// Close so the channel is closed exactly once.
+	draining  atomic.Bool
+	closeOnce sync.Once
+
 	// Health / circuit breaker.
 	hmu         sync.Mutex
 	consecFault int
@@ -155,6 +210,26 @@ type device struct {
 	probing     bool // the single half-open probe job is in flight
 	probeAt     time.Time
 	backoff     time.Duration
+	maxedProbes int  // failed probes at the backoff ceiling
+	permanent   bool // breaker latched open; never probed again
+}
+
+// closeJobs closes the queue exactly once; the worker drains what remains
+// and exits.
+func (d *device) closeJobs() {
+	d.closeOnce.Do(func() { close(d.jobs) })
+}
+
+// routable reports whether routing should consider this device at all —
+// draining and permanently quarantined devices are invisible even as a
+// fallback (work parked on them would never be served deliberately).
+func (d *device) routable() bool {
+	if d.draining.Load() {
+		return false
+	}
+	d.hmu.Lock()
+	defer d.hmu.Unlock()
+	return !d.permanent
 }
 
 // admissible reports whether routing may hand the device new work: healthy,
@@ -187,13 +262,22 @@ func (d *device) onSuccess() {
 
 // onFault records a device fault and trips or extends the quarantine: a
 // failed probe re-quarantines immediately with a doubled window; otherwise
-// the breaker trips once consecutive faults reach the threshold.
-func (d *device) onFault(now time.Time, after int, base, max time.Duration) {
+// the breaker trips once consecutive faults reach the threshold. Once
+// permanentAfter probes have failed at the backoff ceiling the breaker
+// latches permanently — the board is considered dead and a fleet manager
+// may replace it (permanentAfter <= 0 never latches).
+func (d *device) onFault(now time.Time, after int, base, max time.Duration, permanentAfter int) {
 	d.hmu.Lock()
 	d.consecFault++
 	failedProbe := d.probing
 	d.probing = false
 	if failedProbe || d.consecFault >= after {
+		if failedProbe && d.backoff >= max {
+			d.maxedProbes++
+			if permanentAfter > 0 && d.maxedProbes >= permanentAfter {
+				d.permanent = true
+			}
+		}
 		if d.backoff == 0 {
 			d.backoff = base
 		} else if d.backoff < max {
@@ -211,6 +295,11 @@ func (d *device) onFault(now time.Time, after int, base, max time.Duration) {
 func (d *device) run(s *Scheduler) {
 	defer s.wg.Done()
 	for j := range d.jobs {
+		if j.barrier {
+			d.queued.Add(-1)
+			j.fut.resolve(nil, nil)
+			continue
+		}
 		var out []byte
 		var err error
 		if j.sealed {
@@ -227,7 +316,7 @@ func (d *device) run(s *Scheduler) {
 		}
 		d.failed.Add(1)
 		if Retryable(err) {
-			d.onFault(time.Now(), s.quarantineAfter, s.quarantineBase, s.quarantineMax)
+			d.onFault(time.Now(), s.quarantineAfter, s.quarantineBase, s.quarantineMax, s.permanentAfter)
 			if j.attempts < s.maxRetries {
 				j.attempts++
 				d.retried.Add(1)
@@ -259,6 +348,7 @@ type Scheduler struct {
 	quarantineAfter int
 	quarantineBase  time.Duration
 	quarantineMax   time.Duration
+	permanentAfter  int
 }
 
 // New returns an empty scheduler; add systems with Register.
@@ -269,6 +359,7 @@ func New(cfg Config) *Scheduler {
 		quarantineAfter: cfg.QuarantineAfter,
 		quarantineBase:  cfg.QuarantineBase,
 		quarantineMax:   cfg.QuarantineMax,
+		permanentAfter:  cfg.PermanentAfter,
 	}
 	if s.queueDepth <= 0 {
 		s.queueDepth = DefaultQueueDepth
@@ -325,6 +416,125 @@ func (s *Scheduler) RegisterPipeline(p *core.Pipeline) error {
 	return nil
 }
 
+// AddDevice hot-adds a booted system to a serving pool. It is Register
+// under the name the fleet lifecycle uses: routing sees the new device on
+// the very next submission, no restart or pause required.
+func (s *Scheduler) AddDevice(sys *core.System) error { return s.Register(sys) }
+
+// findDevice returns the registered device with the DNA, or nil. Callers
+// hold at least mu.RLock.
+func (s *Scheduler) findDevice(dna fpga.DNA) *device {
+	for _, d := range s.devices {
+		if d.sys.Device.DNA() == dna {
+			return d
+		}
+	}
+	return nil
+}
+
+// Drain stops routing new work to the device and waits — bounded by
+// timeout, where <= 0 means wait forever — until every job it had already
+// accepted has finished. It works by flipping the routing flag, letting
+// the in-flight reserved sends land, then queueing a barrier sentinel
+// behind them: FIFO order means the barrier's resolution proves the queue
+// ran dry. On ErrDrainTimeout the device stays unroutable and its
+// remaining jobs keep running (their futures still resolve); a drained
+// device can be decommissioned with Remove or handed back to routing only
+// by a future Register of its system.
+func (s *Scheduler) Drain(dna fpga.DNA, timeout time.Duration) error {
+	start := time.Now()
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return fmt.Errorf("sched: scheduler closed")
+	}
+	d := s.findDevice(dna)
+	if d == nil {
+		s.mu.RUnlock()
+		return fmt.Errorf("%w: %s", ErrUnknownDevice, dna)
+	}
+	d.draining.Store(true)
+	s.mu.RUnlock()
+
+	// Routing stopped reserving this device the moment the flag flipped;
+	// wait for the sends reserved before that, so the barrier lands behind
+	// every accepted job.
+	d.senders.Wait()
+
+	// Reserve the barrier send under the same discipline as route, so Close
+	// cannot close the queue underneath it.
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return fmt.Errorf("sched: scheduler closed")
+	}
+	d.queued.Add(1)
+	d.senders.Add(1)
+	s.mu.RUnlock()
+
+	j := &job{fut: &Future{done: make(chan struct{})}, barrier: true}
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case d.jobs <- j:
+		d.senders.Done()
+	case <-deadline:
+		// The queue is so backed up even the sentinel would not fit; leave
+		// the device unroutable and release the reservation.
+		d.queued.Add(-1)
+		d.senders.Done()
+		return fmt.Errorf("%w: %s", ErrDrainTimeout, dna)
+	}
+	if timeout <= 0 {
+		_, _ = j.fut.Wait()
+		return nil
+	}
+	remaining := timeout - time.Since(start)
+	if _, err := j.fut.WaitTimeout(remaining); err != nil {
+		return fmt.Errorf("%w: %s", ErrDrainTimeout, dna)
+	}
+	return nil
+}
+
+// Remove drains the device (bounded by timeout) and decommissions it:
+// unregisters it from the pool, closes its queue, and returns its system
+// so the caller can recycle the board. A drain timeout does NOT abort the
+// removal — the device leaves the pool immediately and its worker keeps
+// resolving the leftover queue before exiting, so no accepted job is ever
+// lost; the ErrDrainTimeout is returned alongside the system to report
+// that shutdown outlived the deadline.
+func (s *Scheduler) Remove(dna fpga.DNA, timeout time.Duration) (*core.System, error) {
+	drainErr := s.Drain(dna, timeout)
+	if drainErr != nil && !errors.Is(drainErr, ErrDrainTimeout) {
+		return nil, drainErr
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("sched: scheduler closed")
+	}
+	var d *device
+	for i, dd := range s.devices {
+		if dd.sys.Device.DNA() == dna {
+			d = dd
+			s.devices = append(s.devices[:i], s.devices[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	if d == nil {
+		// A concurrent Remove got here first.
+		return nil, fmt.Errorf("%w: %s", ErrUnknownDevice, dna)
+	}
+	d.senders.Wait()
+	d.closeJobs()
+	return d.sys, drainErr
+}
+
 // pick chooses the admissible device with a matching CL and the fewest
 // queued jobs; equal depths are broken round-robin, so an idle pool
 // spreads work instead of hammering device 0. If every matching device is
@@ -343,6 +553,9 @@ func (s *Scheduler) pick(kernelName string, exclude *device) *device {
 	for i := 0; i < n; i++ {
 		d := s.devices[(start+i)%n]
 		if d == exclude || d.sys.Package.KernelName != kernelName {
+			continue
+		}
+		if !d.routable() {
 			continue
 		}
 		q := d.queued.Load()
@@ -451,6 +664,12 @@ type DeviceStats struct {
 	// currently open; ConsecutiveFaults is its running fault streak.
 	Quarantined       bool
 	ConsecutiveFaults int
+	// Backoff is the current quarantine window; Permanent reports a
+	// latched breaker (the device will never be probed again); Draining
+	// reports a device running its queue dry ahead of decommission.
+	Backoff   time.Duration
+	Permanent bool
+	Draining  bool
 }
 
 // Stats snapshots the pool.
@@ -461,6 +680,7 @@ func (s *Scheduler) Stats() []DeviceStats {
 	for _, d := range s.devices {
 		d.hmu.Lock()
 		quarantined, faults := d.quarantined, d.consecFault
+		backoff, permanent := d.backoff, d.permanent
 		d.hmu.Unlock()
 		out = append(out, DeviceStats{
 			DNA:               d.sys.Device.DNA(),
@@ -471,6 +691,9 @@ func (s *Scheduler) Stats() []DeviceStats {
 			Retried:           d.retried.Load(),
 			Quarantined:       quarantined,
 			ConsecutiveFaults: faults,
+			Backoff:           backoff,
+			Permanent:         permanent,
+			Draining:          d.draining.Load(),
 		})
 	}
 	return out
@@ -491,7 +714,7 @@ func (s *Scheduler) Close() {
 	s.mu.Unlock()
 	for _, d := range devices {
 		d.senders.Wait() // reserved sends finish (workers are still draining)
-		close(d.jobs)
+		d.closeJobs()
 	}
 	s.wg.Wait()
 }
@@ -501,12 +724,82 @@ func (s *Scheduler) Close() {
 // sealed jobs interchangeably: input sealed under the key opens on any
 // device, which is what lets SubmitSealed route by load instead of by
 // identity.
+//
+// Key distribution is atomic in two phases: first every device runs the
+// instance side of the boot and has its cascaded quote verified; only when
+// all K chains check out is the key sealed and delivered to each. A board
+// failing mid-boot therefore never leaves siblings holding a
+// half-distributed shared key — the call fails and no device received it.
 func BootShared(systems []*core.System) ([]byte, error) {
 	key := cryptoutil.RandomKey(16)
-	for i, sys := range systems {
-		if _, err := sys.SecureBootWithKey(key); err != nil {
-			return nil, fmt.Errorf("sched: boot device %d (%s): %w", i, sys.Device.DNA(), err)
-		}
+	if err := bootShared(systems, key, false); err != nil {
+		return nil, err
 	}
 	return key, nil
+}
+
+// BootSharedParallel is BootShared with phase one running concurrently —
+// one goroutine per device. With a shared smapp.PreparedCache/QuotePool in
+// the systems' configs the expensive boot stages single-flight across the
+// fleet; without them the boots are merely overlapped. The same two-phase
+// atomicity holds.
+func BootSharedParallel(systems []*core.System) ([]byte, error) {
+	key := cryptoutil.RandomKey(16)
+	if err := bootShared(systems, key, true); err != nil {
+		return nil, err
+	}
+	return key, nil
+}
+
+// bootShared runs phase one (boot + verify, optionally parallel) on every
+// system, then phase two (seal + deliver) only if the whole fleet passed.
+func bootShared(systems []*core.System, key []byte, parallel bool) error {
+	pubs := make([][]byte, len(systems))
+	bootOne := func(i int) error {
+		sys := systems[i]
+		ver := client.New(sys.Expectations())
+		nonce := ver.NewNonce()
+		quote, err := sys.BootAndQuote(nonce)
+		if err != nil {
+			return fmt.Errorf("sched: boot device %d (%s): %w", i, sys.Device.DNA(), err)
+		}
+		pub, err := sys.VerifyQuote(ver, nonce, quote)
+		if err != nil {
+			return fmt.Errorf("sched: verify device %d (%s): %w", i, sys.Device.DNA(), err)
+		}
+		pubs[i] = pub
+		return nil
+	}
+
+	if !parallel {
+		for i := range systems {
+			if err := bootOne(i); err != nil {
+				return err
+			}
+		}
+	} else {
+		errs := make([]error, len(systems))
+		var wg sync.WaitGroup
+		for i := range systems {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = bootOne(i)
+			}(i)
+		}
+		wg.Wait()
+		if err := errors.Join(errs...); err != nil {
+			return err
+		}
+	}
+
+	// Every chain verified: deliver the key. Sealing is per-enclave-key and
+	// cheap; a delivery failure here is a crypto-layer defect, not a device
+	// fault, and is surfaced as-is.
+	for i, sys := range systems {
+		if err := sys.ProvisionKey(pubs[i], key); err != nil {
+			return fmt.Errorf("sched: provision device %d (%s): %w", i, sys.Device.DNA(), err)
+		}
+	}
+	return nil
 }

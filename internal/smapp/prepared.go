@@ -1,0 +1,269 @@
+package smapp
+
+import (
+	"crypto/ecdh"
+	"crypto/sha256"
+	"sync"
+
+	"salus/internal/netlist"
+	"salus/internal/sgx"
+)
+
+// Fleet-boot amortisation (ISSUE 4, after AgEncID's fleet bitstream keying).
+//
+// Figure 9 shows CL boot time dominated by work that is byte-identical for
+// every board deploying the same CL: bitstream verification, manipulation
+// (RapidWright-under-Occlum), and the SM enclave's quote exchange. A fleet
+// booting K boards with one CL can pay each of those once:
+//
+//   - PreparedCache memoises the manipulated bitstream per (digest, Loc) and
+//     the encrypted ciphertext per (digest, device key, profile). Sharing the
+//     manipulation result means sharing the injected Key_attest/Key_session —
+//     sound only inside one SM-enclave trust domain (all consumers run the
+//     identical measured SM image and the secrets never leave enclaves), and
+//     only because every sharing SMApp rotates its session epoch right after
+//     CL attestation (see AttestCL), so no two boards ever serve traffic
+//     under the same live session key. Key_attest remains fleet-shared for
+//     the CL's lifetime; Invalidate drops it when the RoT is regenerated.
+//   - QuotePool reuses one quote + ephemeral ECDH key across SM enclaves of
+//     the same measurement under one authority: the manufacturer verifies
+//     identical quote bytes, so only the first fetch pays quote generation
+//     and the verifier's DCAP round.
+//
+// Both are optional: a nil cache/pool in Config preserves the exact
+// single-device behaviour.
+
+// preparedCL is one manipulation result: the RoT-injected bitstream plus the
+// secrets that were injected into it.
+type preparedCL struct {
+	manipulated []byte
+	keyAttest   []byte
+	keySession  []byte
+	ctrInit     uint64
+}
+
+// manipKey identifies a manipulation: the CL digest pins the input bytes,
+// the location pins where the secrets cell was injected. (Digest alone is
+// not enough — metadata with the right digest but a wrong Loc must not be
+// satisfied by a cache entry built at the correct one.)
+type manipKey struct {
+	digest [32]byte
+	loc    string
+}
+
+// encKey identifies an encryption: same manipulated CL, same device key,
+// same device profile framing.
+type encKey struct {
+	digest  [32]byte
+	device  [32]byte // sha256 fingerprint of Key_device, never the key itself
+	profile string
+}
+
+type manipEntry struct {
+	ready chan struct{} // closed when cl/err are set
+	cl    *preparedCL
+	err   error
+}
+
+type encEntry struct {
+	ready  chan struct{}
+	sealed []byte
+	err    error
+}
+
+// PreparedStats counts cache activity; tests and benchmarks use it to prove
+// the expensive pipeline ran once.
+type PreparedStats struct {
+	Manipulations    int // cold builds that ran the manipulation toolchain
+	ManipulationHits int // boots served a memoised manipulation
+	Encryptions      int // cold per-(device,CL) encryptions
+	EncryptionHits   int // boots served a memoised ciphertext
+	Invalidations    int // RoT-regeneration flushes
+}
+
+// PreparedCache memoises the manipulate and encrypt stages of DeployCL
+// across a fleet. Safe for concurrent use; concurrent cold boots of the
+// same CL are single-flighted so the toolchain runs once and latecomers
+// block until the builder finishes.
+type PreparedCache struct {
+	mu    sync.Mutex
+	manip map[manipKey]*manipEntry
+	enc   map[encKey]*encEntry
+	stats PreparedStats
+}
+
+// NewPreparedCache returns an empty cache.
+func NewPreparedCache() *PreparedCache {
+	return &PreparedCache{
+		manip: make(map[manipKey]*manipEntry),
+		enc:   make(map[encKey]*encEntry),
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *PreparedCache) Stats() PreparedStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Invalidate flushes every entry. The fleet manager calls this when the RoT
+// key material must be regenerated (e.g. suspected Key_attest exposure):
+// subsequent boots re-run manipulation and inject fresh secrets. Boots
+// already in flight keep the entry pointer they resolved and are unaffected;
+// invalidation governs future lookups only.
+func (c *PreparedCache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.manip = make(map[manipKey]*manipEntry)
+	c.enc = make(map[encKey]*encEntry)
+	c.stats.Invalidations++
+}
+
+// manipulated returns the memoised manipulation for (digest, loc), running
+// build exactly once per key. The bool reports whether the result came from
+// the cache (secrets shared with other boards). Failed builds are evicted so
+// a later boot can retry.
+func (c *PreparedCache) manipulated(digest [32]byte, loc netlist.Location, build func() (*preparedCL, error)) (*preparedCL, bool, error) {
+	key := manipKey{digest: digest, loc: loc.Path}
+	c.mu.Lock()
+	if e, ok := c.manip[key]; ok {
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, false, e.err
+		}
+		c.mu.Lock()
+		c.stats.ManipulationHits++
+		c.mu.Unlock()
+		return e.cl, true, nil
+	}
+	e := &manipEntry{ready: make(chan struct{})}
+	c.manip[key] = e
+	c.mu.Unlock()
+
+	e.cl, e.err = build()
+	close(e.ready)
+	c.mu.Lock()
+	if e.err != nil {
+		// Evict-if-current: an Invalidate may already have replaced the map.
+		if c.manip[key] == e {
+			delete(c.manip, key)
+		}
+	} else {
+		c.stats.Manipulations++
+	}
+	c.mu.Unlock()
+	return e.cl, false, e.err
+}
+
+// encrypted is the per-board stage: memoise the ciphertext per (digest,
+// device key, profile) so a reboot of the same board skips even the
+// encryption pass.
+func (c *PreparedCache) encrypted(digest [32]byte, deviceKey []byte, profile string, build func() ([]byte, error)) ([]byte, bool, error) {
+	key := encKey{digest: digest, device: sha256.Sum256(deviceKey), profile: profile}
+	c.mu.Lock()
+	if e, ok := c.enc[key]; ok {
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, false, e.err
+		}
+		c.mu.Lock()
+		c.stats.EncryptionHits++
+		c.mu.Unlock()
+		return e.sealed, true, nil
+	}
+	e := &encEntry{ready: make(chan struct{})}
+	c.enc[key] = e
+	c.mu.Unlock()
+
+	e.sealed, e.err = build()
+	close(e.ready)
+	c.mu.Lock()
+	if e.err != nil {
+		if c.enc[key] == e {
+			delete(c.enc, key)
+		}
+	} else {
+		c.stats.Encryptions++
+	}
+	c.mu.Unlock()
+	return e.sealed, false, e.err
+}
+
+// QuoteStats counts quote-pool activity.
+type QuoteStats struct {
+	Generated int // quote exchanges actually performed
+	Reused    int // fetches served the pooled quote
+}
+
+type quoteEntry struct {
+	ready chan struct{}
+	priv  *ecdh.PrivateKey
+	quote sgx.Quote
+	err   error
+}
+
+// QuotePool shares one SM-enclave quote and its bound ephemeral ECDH key
+// across a fleet of SM enclaves with the same measurement under the same
+// manufacturer. The key-distribution response is sealed to the quoted
+// public key, so the pooled private key is what lets every pool member open
+// its own per-DNA key response — all members run the identical measured SM
+// image, so the key never leaves the shared trust domain. Reset drops the
+// pooled exchange (e.g. alongside a cache Invalidate).
+type QuotePool struct {
+	mu    sync.Mutex
+	entry *quoteEntry
+	stats QuoteStats
+}
+
+// NewQuotePool returns an empty pool.
+func NewQuotePool() *QuotePool { return &QuotePool{} }
+
+// Stats returns a snapshot of the pool counters.
+func (p *QuotePool) Stats() QuoteStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Reset drops the pooled quote so the next fetch performs a fresh exchange.
+func (p *QuotePool) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.entry = nil
+}
+
+// get returns the pooled (priv, quote), running gen exactly once while the
+// pool is warm. The bool reports reuse. A failed gen is evicted for retry.
+func (p *QuotePool) get(gen func() (*ecdh.PrivateKey, sgx.Quote, error)) (*ecdh.PrivateKey, sgx.Quote, bool, error) {
+	p.mu.Lock()
+	if e := p.entry; e != nil {
+		p.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, sgx.Quote{}, false, e.err
+		}
+		p.mu.Lock()
+		p.stats.Reused++
+		p.mu.Unlock()
+		return e.priv, e.quote, true, nil
+	}
+	e := &quoteEntry{ready: make(chan struct{})}
+	p.entry = e
+	p.mu.Unlock()
+
+	e.priv, e.quote, e.err = gen()
+	close(e.ready)
+	p.mu.Lock()
+	if e.err != nil {
+		if p.entry == e {
+			p.entry = nil
+		}
+	} else {
+		p.stats.Generated++
+	}
+	p.mu.Unlock()
+	return e.priv, e.quote, false, e.err
+}

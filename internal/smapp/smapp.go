@@ -142,6 +142,13 @@ type Config struct {
 	ToolSlowdown     float64 // manipulation-toolchain-in-enclave penalty
 	QuoteGen         time.Duration
 	QuoteVerify      time.Duration
+
+	// Fleet amortisation (both optional; see prepared.go). Prepared memoises
+	// the manipulate/encrypt stages across boards booting the same CL;
+	// Quotes shares one manufacturer quote exchange across same-measurement
+	// SM enclaves.
+	Prepared *PreparedCache
+	Quotes   *QuotePool
 }
 
 // SMApp is a running SM enclave application. Fields below the enclave
@@ -159,6 +166,12 @@ type SMApp struct {
 	keySession []byte
 	ctr        uint64
 	attested   bool
+
+	// sharedSecrets marks that the current Key_session epoch came out of the
+	// prepared-bitstream cache and is therefore known to sibling boards.
+	// AttestCL rotates the epoch immediately after attestation succeeds so
+	// no cross-board frame replay is possible on a live session.
+	sharedSecrets bool
 }
 
 // New loads the SM enclave on the host platform.
@@ -282,26 +295,46 @@ func (a *SMApp) FetchDeviceKey() error {
 	if a.cfg.Manufacturer == nil || a.cfg.Shell == nil {
 		return fmt.Errorf("smapp: manufacturer or shell not configured")
 	}
-	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	// Quote generation is dominated by the DCAP quoting-enclave round trip
+	// on real hardware; modelled as a constant. A fleet QuotePool runs this
+	// once and hands the quote plus its bound ephemeral key to every
+	// same-measurement sibling (prepared.go).
+	gen := func() (*ecdh.PrivateKey, sgx.Quote, error) {
+		priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+		if err != nil {
+			return nil, sgx.Quote{}, err
+		}
+		var data [sgx.ReportDataSize]byte
+		copy(data[:32], priv.PublicKey().Bytes())
+		var quote sgx.Quote
+		a.charge(trace.PhaseSMQuoteGen, a.cfg.QuoteGen)
+		a.measure(trace.PhaseSMQuoteGen, a.cfg.EnclaveSlowdown, func() {
+			quote = a.enclave.Quote(data)
+		})
+		return priv, quote, nil
+	}
+	var priv *ecdh.PrivateKey
+	var quote sgx.Quote
+	var reused bool
+	var err error
+	if a.cfg.Quotes != nil {
+		priv, quote, reused, err = a.cfg.Quotes.get(gen)
+	} else {
+		priv, quote, err = gen()
+	}
 	if err != nil {
 		return err
 	}
-	var data [sgx.ReportDataSize]byte
-	copy(data[:32], priv.PublicKey().Bytes())
-
-	// Quote generation is dominated by the DCAP quoting-enclave round trip
-	// on real hardware; modelled as a constant.
-	var quote sgx.Quote
-	a.charge(trace.PhaseSMQuoteGen, a.cfg.QuoteGen)
-	a.measure(trace.PhaseSMQuoteGen, a.cfg.EnclaveSlowdown, func() {
-		quote = a.enclave.Quote(data)
-	})
 
 	// Request/response over the intra-cloud link; the server's quote
-	// verification (its own DCAP round) is modelled as a constant.
+	// verification (its own DCAP round) is modelled as a constant. A reused
+	// quote is byte-identical to one the manufacturer already verified, so
+	// only the first exchange pays the verifier's DCAP round.
 	dna := a.cfg.Shell.DNA()
 	a.cfg.ManufacturerLink.RoundTrip(a.cfg.Clock, 1024, 256)
-	a.charge(trace.PhaseSMQuoteVerify, a.cfg.QuoteVerify)
+	if !reused {
+		a.charge(trace.PhaseSMQuoteVerify, a.cfg.QuoteVerify)
+	}
 	resp, err := a.cfg.Manufacturer.RequestDeviceKey(quote, dna)
 	if err != nil {
 		return fmt.Errorf("smapp: key distribution: %w", err)
@@ -331,67 +364,100 @@ func (a *SMApp) DeployCL(encoded []byte) error {
 		return fmt.Errorf("smapp: no shell configured")
 	}
 
-	// ⑤a: bitstream verification against the digest from the user client.
-	var ok bool
-	a.measureBest(trace.PhaseBitVerifyEnc, a.cfg.EnclaveSlowdown, func() {
-		ok = cryptoutil.Digest(encoded) == a.meta.Digest
-	})
-	if !ok {
-		return ErrDigest
-	}
-
-	// ⑤b: manipulation — parse, inject fresh secrets, re-serialise. This is
-	// the RapidWright-under-Occlum path and dominates the boot time.
-	keyAttest := cryptoutil.RandomKey(cryptoutil.AttestKeySize)
-	keySession := cryptoutil.RandomKey(cryptoutil.SessionKeySize)
-	var ctrInit uint64
-	if err := binary.Read(rand.Reader, binary.BigEndian, &ctrInit); err != nil {
-		return err
-	}
-	ctrInit >>= 16 // leave headroom for a long session
-
-	var manipulated []byte
-	var err error
-	a.measureBest(trace.PhaseBitManipulation, a.cfg.ToolSlowdown, func() {
-		var tool *bitman.Tool
-		tool, err = bitman.Open(encoded)
-		if err != nil {
-			return
+	// ⑤a+⑤b: verify, then manipulate — parse, inject fresh secrets,
+	// re-serialise. The RapidWright-under-Occlum path dominates boot time
+	// and is byte-identical for every board deploying this CL, so a fleet
+	// PreparedCache runs the closure once; only the builder is charged.
+	build := func() (*preparedCL, error) {
+		// Bitstream verification against the digest from the user client.
+		var ok bool
+		a.measureBest(trace.PhaseBitVerifyEnc, a.cfg.EnclaveSlowdown, func() {
+			ok = cryptoutil.Digest(encoded) == a.meta.Digest
+		})
+		if !ok {
+			return nil, ErrDigest
 		}
-		// Kerckhoff hardening: the reserved RoT cell must arrive zeroed.
-		// A developer-shipped bitstream with pre-initialised "secrets"
-		// would be a hidden, non-deployment-fresh key — refuse it.
-		var existing []byte
-		existing, err = tool.ReadCell(a.meta.Loc, 0, smlogic.SecretsSize)
-		if err != nil {
-			return
+
+		keyAttest := cryptoutil.RandomKey(cryptoutil.AttestKeySize)
+		keySession := cryptoutil.RandomKey(cryptoutil.SessionKeySize)
+		var ctrInit uint64
+		if err := binary.Read(rand.Reader, binary.BigEndian, &ctrInit); err != nil {
+			return nil, err
 		}
-		for _, b := range existing {
-			if b != 0 {
-				err = fmt.Errorf("smapp: reserved RoT cell %s is pre-initialised — refusing to deploy", a.meta.Loc.Path)
+		ctrInit >>= 16 // leave headroom for a long session
+
+		var manipulated []byte
+		var err error
+		a.measureBest(trace.PhaseBitManipulation, a.cfg.ToolSlowdown, func() {
+			var tool *bitman.Tool
+			tool, err = bitman.Open(encoded)
+			if err != nil {
 				return
 			}
+			// Kerckhoff hardening: the reserved RoT cell must arrive zeroed.
+			// A developer-shipped bitstream with pre-initialised "secrets"
+			// would be a hidden, non-deployment-fresh key — refuse it.
+			var existing []byte
+			existing, err = tool.ReadCell(a.meta.Loc, 0, smlogic.SecretsSize)
+			if err != nil {
+				return
+			}
+			for _, b := range existing {
+				if b != 0 {
+					err = fmt.Errorf("smapp: reserved RoT cell %s is pre-initialised — refusing to deploy", a.meta.Loc.Path)
+					return
+				}
+			}
+			// Loc_Keyattest from the metadata locates the secrets cell; the
+			// layout within the cell is the HDK contract.
+			buf := make([]byte, smlogic.SecretsSize)
+			copy(buf[smlogic.OffKeyAttest:], keyAttest)
+			copy(buf[smlogic.OffKeySession:], keySession)
+			binary.BigEndian.PutUint64(buf[smlogic.OffCtrSession:], ctrInit)
+			if err = tool.Inject(a.meta.Loc, 0, buf); err != nil {
+				return
+			}
+			manipulated = tool.Serialize()
+		})
+		if err != nil {
+			return nil, fmt.Errorf("smapp: manipulation: %w", err)
 		}
-		// Loc_Keyattest from the metadata locates the secrets cell; the
-		// layout within the cell is the HDK contract.
-		buf := make([]byte, smlogic.SecretsSize)
-		copy(buf[smlogic.OffKeyAttest:], keyAttest)
-		copy(buf[smlogic.OffKeySession:], keySession)
-		binary.BigEndian.PutUint64(buf[smlogic.OffCtrSession:], ctrInit)
-		if err = tool.Inject(a.meta.Loc, 0, buf); err != nil {
-			return
-		}
-		manipulated = tool.Serialize()
-	})
+		return &preparedCL{
+			manipulated: manipulated,
+			keyAttest:   keyAttest,
+			keySession:  keySession,
+			ctrInit:     ctrInit,
+		}, nil
+	}
+	var cl *preparedCL
+	var fromCache bool
+	var err error
+	if a.cfg.Prepared != nil {
+		cl, fromCache, err = a.cfg.Prepared.manipulated(a.meta.Digest, a.meta.Loc, build)
+	} else {
+		cl, err = build()
+	}
 	if err != nil {
-		return fmt.Errorf("smapp: manipulation: %w", err)
+		return err
 	}
 
-	// ⑤c: encryption under Key_device.
+	// ⑤c: encryption under Key_device — the only genuinely per-board stage,
+	// memoised per (CL, device key) so a reboot of the same board skips it.
+	profile := a.cfg.Shell.Device().Profile().Name
+	encBuild := func() ([]byte, error) {
+		var sealed []byte
+		var encErr error
+		a.measureBest(trace.PhaseBitVerifyEnc, a.cfg.EnclaveSlowdown, func() {
+			sealed, encErr = bitstream.Encrypt(cl.manipulated, a.deviceKey, profile)
+		})
+		return sealed, encErr
+	}
 	var sealed []byte
-	a.measureBest(trace.PhaseBitVerifyEnc, a.cfg.EnclaveSlowdown, func() {
-		sealed, err = bitstream.Encrypt(manipulated, a.deviceKey, a.cfg.Shell.Device().Profile().Name)
-	})
+	if a.cfg.Prepared != nil {
+		sealed, _, err = a.cfg.Prepared.encrypted(a.meta.Digest, a.deviceKey, profile, encBuild)
+	} else {
+		sealed, err = encBuild()
+	}
 	if err != nil {
 		return fmt.Errorf("smapp: encryption: %w", err)
 	}
@@ -403,10 +469,11 @@ func (a *SMApp) DeployCL(encoded []byte) error {
 	}
 	a.cfg.Trace.Record(trace.PhaseCLDeployment, span.Elapsed())
 
-	a.keyAttest = keyAttest
-	a.keySession = keySession
-	a.ctr = ctrInit
+	a.keyAttest = append([]byte(nil), cl.keyAttest...)
+	a.keySession = append([]byte(nil), cl.keySession...)
+	a.ctr = cl.ctrInit
 	a.attested = false
+	a.sharedSecrets = fromCache
 	return nil
 }
 
@@ -448,6 +515,18 @@ func (a *SMApp) AttestCL() error {
 		return fmt.Errorf("%w: response MAC invalid", ErrCLAttestation)
 	}
 	a.attested = true
+
+	// Cache hygiene: when the injected secrets came out of the fleet's
+	// prepared-bitstream cache, every sibling board knows this Key_session
+	// epoch. Rotate it before any register traffic flows so recorded frames
+	// from one board can never replay against another. Key_attest stays
+	// shared — it only ever MACs nonce-fresh challenges.
+	if a.sharedSecrets {
+		a.sharedSecrets = false
+		if err := a.RekeySession(); err != nil {
+			return fmt.Errorf("smapp: post-attest session rotation: %w", err)
+		}
+	}
 	return nil
 }
 

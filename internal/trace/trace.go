@@ -63,6 +63,37 @@ func (l *Log) Samples() []Sample {
 	return out
 }
 
+// Merge appends every sample of other into l. Both logs stay usable and
+// safe for concurrent recording throughout; other is read under its own
+// lock (via Samples) before l's lock is taken, so Merge never holds two
+// locks at once and two logs merging into each other cannot deadlock.
+// Merging a log into itself is a no-op. Parallel fleet boots use this to
+// combine per-device boot traces into one Figure-9 report.
+func (l *Log) Merge(other *Log) {
+	if other == nil || other == l {
+		return
+	}
+	samples := other.Samples()
+	l.mu.Lock()
+	l.samples = append(l.samples, samples...)
+	l.mu.Unlock()
+}
+
+// Count returns how many samples were recorded for the phase — distinct
+// from PhaseTotal, which sums them. Cache-effectiveness tests use this to
+// assert a phase ran exactly once across a merged fleet trace.
+func (l *Log) Count(p Phase) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, s := range l.samples {
+		if s.Phase == p {
+			n++
+		}
+	}
+	return n
+}
+
 // Total returns the sum of all recorded durations.
 func (l *Log) Total() time.Duration {
 	l.mu.Lock()

@@ -63,6 +63,10 @@ type UserApp struct {
 	result   *smapp.CLResult
 	dataPriv *ecdh.PrivateKey
 	dataKey  []byte
+
+	// handoffPriv is the ephemeral key of an in-progress sibling data-key
+	// hand-off (share.go); nil when none is pending.
+	handoffPriv *ecdh.PrivateKey
 }
 
 // New loads the user enclave.
