@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build test vet race tier1 ci fmt-check bench bench-smoke bench-sched bench-degraded bench-fleet clean
+# Packages whose statement coverage is gated in CI (the observability layer
+# and the two subsystems its health signals come from), and the floor they
+# must clear.
+COVER_PKGS = salus/internal/metrics salus/internal/sched salus/internal/fleet
+COVER_FLOOR = 75
+
+.PHONY: all build test vet race tier1 ci cover cover-check fmt-check bench bench-smoke bench-sched bench-degraded bench-fleet bench-metrics clean
 
 all: build test
 
@@ -27,12 +33,31 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# Per-package statement-coverage table for the whole module.
+cover:
+	@$(GO) test -cover ./... | awk '/coverage:/ { \
+		pkg = ($$1 == "ok" || $$1 == "FAIL") ? $$2 : $$1; \
+		cov = "-"; for (i = 1; i <= NF; i++) if ($$i ~ /%/) cov = $$i; \
+		printf "%-40s %s\n", pkg, cov }'
+
+# Enforce the coverage floor on the gated packages.
+cover-check:
+	@$(GO) test -coverprofile=/dev/null -cover $(COVER_PKGS) | awk -v floor=$(COVER_FLOOR) ' \
+		/coverage:/ { \
+			for (i = 1; i <= NF; i++) if ($$i ~ /%/) { sub(/%.*/, "", $$i); cov = $$i } \
+			printf "%-30s %s%%\n", $$2, cov; \
+			if (cov + 0 < floor) { bad = 1 } \
+		} \
+		END { if (bad) { print "coverage below " floor "% floor"; exit 1 } }'
+
 # The one-stop verification entry point: formatting, vet, the tier-1 gate,
-# and the failure-path packages (rpc multiplexing, scheduler quarantine and
-# lifecycle, fleet elasticity, cluster reconnect) under the race detector.
+# the coverage floor on the observability-critical packages, a full-repo
+# race sweep, and the metrics hot-path budget.
 ci: fmt-check vet
 	$(GO) build ./... && $(GO) test ./...
-	$(GO) test -race ./internal/fleet ./internal/sched ./internal/rpc ./internal/remote ./internal/core
+	$(MAKE) cover-check
+	$(GO) test -race ./...
+	$(MAKE) bench-metrics
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -42,7 +67,8 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# Multi-device scheduler throughput (serial baseline vs 1/2/4 devices).
+# Multi-device scheduler throughput (serial baseline vs 1/2/4 devices,
+# plus the same pool with metrics disabled — the <3% overhead comparison).
 bench-sched:
 	$(GO) test -run xxx -bench SchedulerThroughput -benchtime 100x .
 
@@ -54,6 +80,11 @@ bench-degraded:
 # add/remove cycles under load.
 bench-fleet:
 	$(GO) test -run xxx -bench 'FleetBoot|FleetHotAdd' -benchtime 5x .
+
+# Metrics hot-path smoke gate: one enabled counter+histogram record must
+# stay under ~100ns/op with zero allocations (see TestHotPathBudget).
+bench-metrics:
+	SALUS_BENCH_SMOKE=1 $(GO) test -run TestHotPathBudget -v ./internal/metrics | grep -E 'ns/op|ok|FAIL|PASS'
 
 clean:
 	$(GO) clean ./...

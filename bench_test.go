@@ -34,6 +34,7 @@ import (
 	"salus/internal/cryptoutil"
 	"salus/internal/fleet"
 	"salus/internal/fpga"
+	"salus/internal/metrics"
 	"salus/internal/netlist"
 	"salus/internal/perfmodel"
 	"salus/internal/sched"
@@ -483,28 +484,37 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 		}
 	})
 
-	for _, n := range []int{1, 2, 4} {
-		b.Run(fmt.Sprintf("devices-%d", n), func(b *testing.B) {
-			s := sched.New(sched.Config{})
-			for _, sys := range benchPool(b, n) {
-				if err := s.Register(sys); err != nil {
-					b.Fatal(err)
-				}
+	runPool := func(b *testing.B, n int) {
+		s := sched.New(sched.Config{})
+		for _, sys := range benchPool(b, n) {
+			if err := s.Register(sys); err != nil {
+				b.Fatal(err)
 			}
-			defer s.Close()
-			b.SetBytes(int64(len(w.Input)))
-			b.ResetTimer()
-			futs := make([]*sched.Future, b.N)
-			for i := range futs {
-				futs[i] = s.Submit(w)
+		}
+		defer s.Close()
+		b.SetBytes(int64(len(w.Input)))
+		b.ResetTimer()
+		futs := make([]*sched.Future, b.N)
+		for i := range futs {
+			futs[i] = s.Submit(w)
+		}
+		for i, f := range futs {
+			if _, err := f.Wait(); err != nil {
+				b.Fatalf("job %d: %v", i, err)
 			}
-			for i, f := range futs {
-				if _, err := f.Wait(); err != nil {
-					b.Fatalf("job %d: %v", i, err)
-				}
-			}
-		})
+		}
 	}
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("devices-%d", n), func(b *testing.B) { runPool(b, n) })
+	}
+	// The observability acceptance gate: the same pool with the metrics
+	// registry disabled. Compare devices-2 against this to price the
+	// instrumentation on the job hot path (<3% is the budget).
+	b.Run("devices-2-metrics-disabled", func(b *testing.B) {
+		metrics.Default().SetEnabled(false)
+		defer metrics.Default().SetEnabled(true)
+		runPool(b, 2)
+	})
 }
 
 // benchInjector is a switchable broken shell for the degraded-pool bench:

@@ -33,6 +33,10 @@ func main() {
 		runFleet(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "top" {
+		runTop(os.Args[2:])
+		return
+	}
 	instAddr := flag.String("inst", "127.0.0.1:7002", "instance / cluster gateway address")
 	expPath := flag.String("exp", "salus-expectations.json", "expectations file from salus-server")
 	kernel := flag.String("kernel", "Conv", "kernel the instance deployed")

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"encoding/json"
+
+	"salus/internal/client"
+	"salus/internal/metrics"
+	"salus/internal/remote"
+	"salus/internal/sched"
+)
+
+// runTop is the live fleet-health subcommand: it polls the gateway's
+// per-device stats and aggregate metrics snapshot on one connection and
+// renders a compact health board — queue depth, boot-cache hit rates,
+// quarantine state, and job-latency quantiles. -iterations bounds the loop
+// (0 = run until interrupted), which is what the e2e test uses.
+func runTop(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	instAddr := fs.String("inst", "127.0.0.1:7002", "cluster / fleet gateway address")
+	expPath := fs.String("exp", "salus-expectations.json", "expectations file from salus-server")
+	interval := fs.Duration("interval", time.Second, "refresh interval")
+	iterations := fs.Int("iterations", 0, "number of refreshes before exiting (0 = forever)")
+	fs.Parse(args)
+
+	raw, err := os.ReadFile(*expPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var exps []client.Expectations
+	if err := json.Unmarshal(raw, &exps); err != nil {
+		log.Fatalf("top needs a cluster expectations file (JSON array): %v", err)
+	}
+	sess, err := remote.DialCluster(*instAddr, exps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	for i := 0; *iterations <= 0 || i < *iterations; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		stats, err := sess.Stats()
+		if err != nil {
+			log.Fatalf("stats: %v", err)
+		}
+		snap, err := sess.Metrics()
+		if err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		fmt.Print(renderTop(stats, snap))
+	}
+}
+
+// renderTop formats one refresh of the health board.
+func renderTop(stats []sched.DeviceStats, snap metrics.Snapshot) string {
+	var b strings.Builder
+	now := time.Now().Format(time.TimeOnly)
+
+	var queued int64
+	quarantined, permanent, draining := 0, 0, 0
+	for _, ds := range stats {
+		queued += ds.Queued
+		if ds.Permanent {
+			permanent++
+		} else if ds.Quarantined {
+			quarantined++
+		}
+		if ds.Draining {
+			draining++
+		}
+	}
+
+	fmt.Fprintf(&b, "salus top — %s — %d devices\n", now, len(stats))
+	fmt.Fprintf(&b, "  queue depth   %d queued (gauge %d)\n",
+		queued, snap.Gauges["salus_sched_queue_depth"])
+	fmt.Fprintf(&b, "  health        %d quarantined, %d written off, %d draining (%d quarantine events, %d readmissions)\n",
+		quarantined, permanent, draining,
+		snap.Counters["salus_sched_quarantine_total"], snap.Counters["salus_sched_readmit_total"])
+	fmt.Fprintf(&b, "  jobs          %d submitted, %d completed, %d failed, %d re-dispatched\n",
+		snap.Counters["salus_sched_submitted_total"], snap.Counters["salus_sched_completed_total"],
+		snap.Counters["salus_sched_failed_total"], snap.Counters["salus_sched_redispatched_total"])
+
+	if h, ok := snap.Histograms["salus_sched_job_seconds"]; ok && h.Count > 0 {
+		fmt.Fprintf(&b, "  job latency   p50 %v  p95 %v  p99 %v  (n=%d, mean %v)\n",
+			h.P50, h.P95, h.P99, h.Count, h.Mean())
+	} else {
+		fmt.Fprintf(&b, "  job latency   no jobs recorded yet\n")
+	}
+
+	fmt.Fprintf(&b, "  boot caches   manipulation %s, encryption %s, quote reuse %s\n",
+		hitRate(snap.Counters["salus_smapp_manip_hits_total"], snap.Counters["salus_smapp_manip_total"]),
+		hitRate(snap.Counters["salus_smapp_enc_hits_total"], snap.Counters["salus_smapp_enc_total"]),
+		hitRate(snap.Counters["salus_smapp_quote_reused_total"], snap.Counters["salus_smapp_quote_generated_total"]))
+	fmt.Fprintf(&b, "  sessions      %d key exchanges, %d rekeys, %d gateway redials\n",
+		snap.Counters["salus_session_exchanges_total"], snap.Counters["salus_session_rekeys_total"],
+		snap.Counters["salus_remote_redials_total"])
+
+	for _, ds := range stats {
+		state := "healthy"
+		switch {
+		case ds.Permanent:
+			state = "WRITTEN OFF"
+		case ds.Quarantined:
+			state = "QUARANTINED"
+		case ds.Draining:
+			state = "draining"
+		}
+		fmt.Fprintf(&b, "  %-12s %-10s queued=%-3d completed=%-4d failed=%-3d %s\n",
+			ds.DNA, ds.Kernel, ds.Queued, ds.Completed, ds.Failed, state)
+	}
+	return b.String()
+}
+
+// hitRate renders "hits/total (pct)" for a cache's hit and cold counters.
+func hitRate(hits, cold uint64) string {
+	total := hits + cold
+	if total == 0 {
+		return "0/0"
+	}
+	return fmt.Sprintf("%d/%d (%.0f%%)", hits, total, 100*float64(hits)/float64(total))
+}

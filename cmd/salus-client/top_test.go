@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"salus/internal/metrics"
+	"salus/internal/sched"
+)
+
+// TestRenderTop drives the health-board renderer with a canned snapshot and
+// asserts the acceptance signals are all visible: live queue depth, cache
+// hit rate, quarantine count, and p99 job latency.
+func TestRenderTop(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Gauge("salus_sched_queue_depth").Set(5)
+	reg.Counter("salus_sched_submitted_total").Add(120)
+	reg.Counter("salus_sched_completed_total").Add(117)
+	reg.Counter("salus_sched_failed_total").Add(3)
+	reg.Counter("salus_sched_quarantine_total").Add(2)
+	reg.Counter("salus_smapp_manip_total").Add(1)
+	reg.Counter("salus_smapp_manip_hits_total").Add(3)
+	h := reg.Histogram("salus_sched_job_seconds")
+	for i := 0; i < 99; i++ {
+		h.Observe(2 * time.Millisecond)
+	}
+	h.Observe(300 * time.Millisecond)
+
+	stats := []sched.DeviceStats{
+		{DNA: "POOL-00", Kernel: "Conv", Queued: 3, Completed: 60},
+		{DNA: "POOL-01", Kernel: "Conv", Queued: 2, Completed: 57, Failed: 3, Quarantined: true},
+	}
+	out := renderTop(stats, reg.Snapshot())
+
+	wants := []string{
+		"2 devices",
+		"5 queued",               // live queue depth (gauge agrees with stats)
+		"1 quarantined",          // quarantine count from device stats
+		"p99",                    // job latency quantiles
+		"manipulation 3/4 (75%)", // prepared-cache hit rate
+		"QUARANTINED",
+		"POOL-00",
+	}
+	for _, want := range wants {
+		if !strings.Contains(out, want) {
+			t.Errorf("top output missing %q:\n%s", want, out)
+		}
+	}
+	// The single 300ms outlier puts p99 in the 524.288ms (2^19 µs) bucket
+	// while p50 stays in the ~2ms bucket.
+	if !strings.Contains(out, "p99 524.288ms") {
+		t.Errorf("p99 should land in the ~300ms bucket:\n%s", out)
+	}
+}
+
+func TestHitRateEmpty(t *testing.T) {
+	if got := hitRate(0, 0); got != "0/0" {
+		t.Fatalf("hitRate(0,0) = %q", got)
+	}
+	if got := hitRate(1, 3); got != "1/4 (25%)" {
+		t.Fatalf("hitRate(1,3) = %q", got)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"time"
 
 	"salus"
 	"salus/internal/client"
@@ -30,6 +31,7 @@ import (
 	"salus/internal/fleet"
 	"salus/internal/fpga"
 	"salus/internal/manufacturer"
+	"salus/internal/metrics"
 	"salus/internal/remote"
 	"salus/internal/sched"
 )
@@ -58,6 +60,7 @@ func main() {
 	minDevices := flag.Int("min-devices", 1, "cluster mode: floor the fleet may never shrink below")
 	maxDevices := flag.Int("max-devices", 0, "cluster mode: ceiling the fleet may never grow beyond (0 = unbounded)")
 	autoReplace := flag.Duration("auto-replace", 0, "cluster mode: scan interval for replacing written-off boards (0 disables)")
+	metricsEvery := flag.Duration("metrics-interval", 0, "dump the process metrics registry every interval (0 disables)")
 	flag.Parse()
 
 	k, ok := salus.KernelByName(*kernel)
@@ -163,10 +166,29 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("expectations written:", *expPath)
+
+	stopMetrics := make(chan struct{})
+	if *metricsEvery > 0 {
+		fmt.Println("metrics dump every:  ", *metricsEvery)
+		go func() {
+			t := time.NewTicker(*metricsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopMetrics:
+					return
+				case <-t.C:
+					fmt.Printf("--- metrics %s ---\n%s", time.Now().Format(time.TimeOnly), metrics.Default().Snapshot())
+				}
+			}
+		}()
+	}
+
 	fmt.Println("waiting for a data owner — Ctrl-C to stop")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
+	close(stopMetrics)
 	fmt.Println("\nshutting down")
 }

@@ -9,6 +9,17 @@ import (
 	"salus/internal/accel"
 	"salus/internal/channel"
 	"salus/internal/cryptoutil"
+	"salus/internal/metrics"
+)
+
+// Device-level job metrics: on-board latency (secure start through result
+// readback) for the plaintext and sealed paths, plus how often the 4-write
+// secure key/IV exchange actually runs — the counter that proves session
+// reuse is amortising it.
+var (
+	mCoreJob          = metrics.Default().Histogram("salus_core_job_seconds")
+	mCoreSealedJob    = metrics.Default().Histogram("salus_core_sealed_job_seconds")
+	mSessionExchanges = metrics.Default().Counter("salus_session_exchanges_total")
 )
 
 // DefaultSessionRekeyEvery is how many jobs reuse one cached data-key
@@ -54,6 +65,8 @@ func (s *System) RunJob(w accel.Workload) ([]byte, error) {
 	// are a single shared resource, exactly as on the physical board.
 	s.jobMu.Lock()
 	defer s.jobMu.Unlock()
+	start := time.Now()
+	defer mCoreJob.Since(start)
 	return s.runJobLocked(w)
 }
 
@@ -208,6 +221,7 @@ func (s *System) ensureSession() (dataKey, jobIV []byte, err error) {
 			}
 		}
 		s.sessKey, s.sessIV, s.sessJobs = key, baseIV, 0
+		mSessionExchanges.Inc()
 	}
 	jobIV = accel.JobIV(s.sessIV, s.sessJobs)
 	s.sessJobs++
@@ -229,6 +243,8 @@ func (s *System) invalidateSession() {
 func (s *System) RunJobSealed(kernelName string, params [4]uint64, sealedInput []byte) ([]byte, error) {
 	s.jobMu.Lock()
 	defer s.jobMu.Unlock()
+	start := time.Now()
+	defer mCoreSealedJob.Since(start)
 	if !s.booted {
 		return nil, fmt.Errorf("core: system not booted")
 	}

@@ -38,6 +38,7 @@ import (
 	"salus/internal/core"
 	"salus/internal/fpga"
 	"salus/internal/manufacturer"
+	"salus/internal/metrics"
 	"salus/internal/netlist"
 	"salus/internal/sched"
 	"salus/internal/sgx"
@@ -49,6 +50,24 @@ import (
 // DefaultDrainTimeout bounds how long a decommission waits for in-flight
 // jobs before removing the device anyway (the leftover jobs still resolve).
 const DefaultDrainTimeout = 30 * time.Second
+
+// Fleet lifecycle metrics. The members gauge mirrors the membership map;
+// per-phase boot histograms (salus_fleet_boot_<phase>_seconds) are fed from
+// each adopted member's trace, so the aggregate metrics and the merged
+// Figure-9 boot trace agree sample for sample.
+var (
+	mMembers    = metrics.Default().Gauge("salus_fleet_members")
+	mAdds       = metrics.Default().Counter("salus_fleet_add_total")
+	mAddFails   = metrics.Default().Counter("salus_fleet_add_fail_total")
+	mRemoves    = metrics.Default().Counter("salus_fleet_remove_total")
+	mDrains     = metrics.Default().Counter("salus_fleet_drain_total")
+	mDrainFails = metrics.Default().Counter("salus_fleet_drain_fail_total")
+	mReplaces   = metrics.Default().Counter("salus_fleet_replace_total")
+	mBoot       = metrics.Default().Histogram("salus_fleet_boot_seconds")
+)
+
+// bootPhasePrefix names the per-phase boot histograms fed at Adopt.
+const bootPhasePrefix = "salus_fleet_boot_"
 
 // Config assembles a fleet manager.
 type Config struct {
@@ -283,7 +302,16 @@ func (m *Manager) Adopt(sys *core.System) error {
 		m.pending--
 	}
 	m.mu.Unlock()
+	mMembers.Add(1)
 	m.bootTrace.Merge(sys.Trace)
+	trace.FeedHistograms(metrics.Default(), sys.Trace, bootPhasePrefix)
+	var bootTotal time.Duration
+	for _, sample := range sys.Trace.Samples() {
+		bootTotal += sample.D
+	}
+	if bootTotal > 0 {
+		mBoot.Observe(bootTotal)
+	}
 	return nil
 }
 
@@ -366,6 +394,7 @@ func (m *Manager) bootSibling(sys *core.System) error {
 func (m *Manager) add(ignoreCap bool) (fpga.DNA, error) {
 	sys, err := m.spawn(ignoreCap)
 	if err != nil {
+		mAddFails.Inc()
 		return "", err
 	}
 	m.mu.Lock()
@@ -378,11 +407,14 @@ func (m *Manager) add(ignoreCap bool) (fpga.DNA, error) {
 	}
 	if err != nil {
 		m.unspawn()
+		mAddFails.Inc()
 		return "", fmt.Errorf("fleet: hot add %s: %w", sys.Device.DNA(), err)
 	}
 	if err := m.Adopt(sys); err != nil {
+		mAddFails.Inc()
 		return "", err
 	}
+	mAdds.Inc()
 	return sys.Device.DNA(), nil
 }
 
@@ -397,15 +429,19 @@ func (m *Manager) Add() (fpga.DNA, error) { return m.add(false) }
 func (m *Manager) AddSibling() (fpga.DNA, error) {
 	sys, err := m.spawn(false)
 	if err != nil {
+		mAddFails.Inc()
 		return "", err
 	}
 	if err := m.bootSibling(sys); err != nil {
 		m.unspawn()
+		mAddFails.Inc()
 		return "", fmt.Errorf("fleet: hot add %s: %w", sys.Device.DNA(), err)
 	}
 	if err := m.Adopt(sys); err != nil {
+		mAddFails.Inc()
 		return "", err
 	}
+	mAdds.Inc()
 	return sys.Device.DNA(), nil
 }
 
@@ -413,7 +449,12 @@ func (m *Manager) AddSibling() (fpga.DNA, error) {
 // until its accepted jobs have finished. The member stays in the fleet,
 // unroutable, until Removed.
 func (m *Manager) Drain(dna fpga.DNA) error {
-	return m.sch.Drain(dna, m.cfg.DrainTimeout)
+	if err := m.sch.Drain(dna, m.cfg.DrainTimeout); err != nil {
+		mDrainFails.Inc()
+		return err
+	}
+	mDrains.Inc()
+	return nil
 }
 
 // Remove drains and decommissions the member. A drain timeout does not
@@ -433,6 +474,8 @@ func (m *Manager) Remove(dna fpga.DNA) (*core.System, error) {
 	m.mu.Lock()
 	delete(m.members, dna)
 	m.mu.Unlock()
+	mMembers.Add(-1)
+	mRemoves.Inc()
 	return sys, err
 }
 
@@ -455,6 +498,9 @@ func (m *Manager) Replace(dna fpga.DNA) (fpga.DNA, error) {
 	m.mu.Lock()
 	delete(m.members, dna)
 	m.mu.Unlock()
+	mMembers.Add(-1)
+	mRemoves.Inc()
+	mReplaces.Inc()
 	return newDNA, nil
 }
 

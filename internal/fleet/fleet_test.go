@@ -120,15 +120,19 @@ func TestHotAddWhileServing(t *testing.T) {
 	const jobs = 40
 	futs := make([]*sched.Future, jobs)
 	var wg sync.WaitGroup
+	halfway := make(chan struct{}) // closed once half the jobs are submitted
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		for i := range futs {
 			futs[i] = m.Scheduler().Submit(accel.GenConv(4, 4, 1, int64(i)))
+			if i == jobs/2 {
+				close(halfway)
+			}
 		}
 	}()
 
-	time.Sleep(5 * time.Millisecond) // mid-stream
+	<-halfway // the add lands mid-stream, deterministically
 	before := m.PreparedStats()
 	dna, err := m.Add()
 	if err != nil {

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// WriteText renders the snapshot as an aligned, deterministic table —
+// salus-server's periodic metrics dump and the test suite's golden output.
+func (s Snapshot) WriteText(w io.Writer) error {
+	if len(s.Gauges) > 0 {
+		if _, err := fmt.Fprintln(w, "gauges:"); err != nil {
+			return err
+		}
+		for _, name := range s.SortedGaugeNames() {
+			if _, err := fmt.Fprintf(w, "  %-44s %d\n", name, s.Gauges[name]); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.Counters) > 0 {
+		if _, err := fmt.Fprintln(w, "counters:"); err != nil {
+			return err
+		}
+		for _, name := range s.SortedCounterNames() {
+			if _, err := fmt.Fprintf(w, "  %-44s %d\n", name, s.Counters[name]); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.Histograms) > 0 {
+		if _, err := fmt.Fprintln(w, "histograms:                                    count      mean       p50       p95       p99"); err != nil {
+			return err
+		}
+		for _, name := range s.SortedHistogramNames() {
+			h := s.Histograms[name]
+			if _, err := fmt.Fprintf(w, "  %-44s %6d %9s %9s %9s %9s\n",
+				name, h.Count, fmtDur(h.Mean()), fmtDur(h.P50), fmtDur(h.P95), fmtDur(h.P99)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the snapshot via WriteText.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	_ = s.WriteText(&b)
+	return b.String()
+}
+
+// fmtDur renders a duration compactly for the aligned tables.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHistogramContention hammers one histogram from 64 goroutines while a
+// snapshotter races it, asserting (under -race in CI) that no observation
+// is ever lost and every snapshot is internally consistent: the reported
+// Count equals the sum of its bucket counts, counts only move forward, and
+// the Sum never gets ahead of what the buckets account for (the
+// Observe/Snapshot ordering contract).
+func TestHistogramContention(t *testing.T) {
+	const (
+		goroutines = 64
+		perG       = 2000
+		obs        = 3 * time.Millisecond // fixed, so Sum == Count*obs at rest
+	)
+	r := NewRegistry()
+	h := r.Histogram("salus_stress_seconds")
+
+	var start, done sync.WaitGroup
+	release := make(chan struct{})
+	start.Add(goroutines)
+	done.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func() {
+			defer done.Done()
+			start.Done()
+			<-release
+			for j := 0; j < perG; j++ {
+				h.Observe(obs)
+			}
+		}()
+	}
+	start.Wait()
+	close(release)
+
+	// Snapshot continuously while the writers run.
+	var stop atomic.Bool
+	snapErr := make(chan error, 1)
+	go func() {
+		defer close(snapErr)
+		var prevCount uint64
+		for !stop.Load() {
+			s := h.Snapshot()
+			var bucketSum uint64
+			for _, b := range s.Buckets {
+				bucketSum += b.Count
+			}
+			if bucketSum != s.Count {
+				t.Errorf("snapshot inconsistent: bucket sum %d != count %d", bucketSum, s.Count)
+				return
+			}
+			if s.Count < prevCount {
+				t.Errorf("count went backwards: %d -> %d", prevCount, s.Count)
+				return
+			}
+			prevCount = s.Count
+			if s.Sum > time.Duration(s.Count)*obs {
+				t.Errorf("sum %v ahead of %d observations (max %v)", s.Sum, s.Count, time.Duration(s.Count)*obs)
+				return
+			}
+		}
+	}()
+
+	done.Wait()
+	stop.Store(true)
+	<-snapErr
+	if t.Failed() {
+		return
+	}
+
+	final := h.Snapshot()
+	if want := uint64(goroutines * perG); final.Count != want {
+		t.Fatalf("observations lost: count %d, want %d", final.Count, want)
+	}
+	if want := time.Duration(goroutines*perG) * obs; final.Sum != want {
+		t.Fatalf("sum drifted: %v, want %v", final.Sum, want)
+	}
+}
+
+// TestRegistryContention exercises concurrent handle acquisition plus
+// recording plus whole-registry snapshots — the server's steady state.
+func TestRegistryContention(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared_total")
+			g := r.Gauge("shared_depth")
+			h := r.Histogram("shared_seconds")
+			for j := 0; j < 500; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(time.Microsecond)
+				g.Add(-1)
+				if j%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["shared_total"] != 16*500 {
+		t.Fatalf("counter = %d, want %d", s.Counters["shared_total"], 16*500)
+	}
+	if s.Gauges["shared_depth"] != 0 {
+		t.Fatalf("gauge = %d, want 0", s.Gauges["shared_depth"])
+	}
+	if s.Histograms["shared_seconds"].Count != 16*500 {
+		t.Fatalf("histogram count = %d, want %d", s.Histograms["shared_seconds"].Count, 16*500)
+	}
+}

@@ -12,10 +12,14 @@ import (
 	"salus/internal/client"
 	"salus/internal/core"
 	"salus/internal/cryptoutil"
+	"salus/internal/metrics"
 	"salus/internal/rpc"
 	"salus/internal/sched"
 	"salus/internal/sgx"
 )
+
+// mRedials counts gateway re-dials after broken transports, fleet-wide.
+var mRedials = metrics.Default().Counter("salus_remote_redials_total")
 
 // --- Cluster gateway ---------------------------------------------------------
 //
@@ -45,6 +49,14 @@ type ClusterProvisionRequest struct {
 // ClusterStatsResponse snapshots the scheduler.
 type ClusterStatsResponse struct {
 	Devices []sched.DeviceStats `json:"devices"`
+}
+
+// ClusterMetricsResponse carries the gateway process's whole metrics
+// registry: every counter, gauge, and latency histogram the instrumented
+// layers (rpc, sched, fleet, smapp, core) export. `salus-client top` polls
+// this alongside Cluster.Stats.
+type ClusterMetricsResponse struct {
+	Metrics metrics.Snapshot `json:"metrics"`
 }
 
 // ServeCluster exposes a pool's boot/provision/job gateway on addr. The
@@ -156,6 +168,9 @@ func handleClusterServing(srv *rpc.Server, sch *sched.Scheduler) {
 	srv.Handle("Cluster.Stats", rpc.Typed(func(struct{}) (ClusterStatsResponse, error) {
 		return ClusterStatsResponse{Devices: sch.Stats()}, nil
 	}))
+	srv.Handle("Cluster.Metrics", rpc.Typed(func(struct{}) (ClusterMetricsResponse, error) {
+		return ClusterMetricsResponse{Metrics: metrics.Default().Snapshot()}, nil
+	}))
 }
 
 // Reconnect policy for ClusterSession: how many dial-and-retry rounds one
@@ -220,6 +235,7 @@ func (s *ClusterSession) client() (*rpc.Client, error) {
 		}
 		s.c = c
 		s.redials++
+		mRedials.Inc()
 	}
 	return s.c, nil
 }
@@ -364,6 +380,15 @@ func (s *ClusterSession) Stats() ([]sched.DeviceStats, error) {
 		return nil, err
 	}
 	return resp.Devices, nil
+}
+
+// Metrics fetches the gateway's aggregate metrics snapshot.
+func (s *ClusterSession) Metrics() (metrics.Snapshot, error) {
+	var resp ClusterMetricsResponse
+	if err := s.call("Cluster.Metrics", struct{}{}, &resp); err != nil {
+		return metrics.Snapshot{}, err
+	}
+	return resp.Metrics, nil
 }
 
 // Close releases the session.

@@ -1,0 +1,109 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"runtime"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzFrameRoundTrip throws arbitrary bytes at the length-prefixed frame
+// codec — truncated headers, truncated bodies, oversized and lying length
+// prefixes, corrupt JSON — and asserts the decoder never panics, never
+// trusts the prefix over the bytes actually present, and stays a strict
+// inverse of the encoder for everything the encoder can produce.
+func FuzzFrameRoundTrip(f *testing.F) {
+	frame := func(payload []byte) []byte {
+		out := make([]byte, 4+len(payload))
+		binary.BigEndian.PutUint32(out, uint32(len(payload)))
+		copy(out[4:], payload)
+		return out
+	}
+	f.Add(frame([]byte(`{"id":1,"method":"Instance.Boot","params":{}}`)))
+	f.Add(frame(nil))                                    // empty body
+	f.Add([]byte{})                                      // empty stream
+	f.Add([]byte{0x00, 0x00})                            // truncated header
+	f.Add([]byte{0x00, 0x00, 0x01, 0x00, 'a', 'b'})      // truncated body
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'})           // length above MaxFrame
+	f.Add([]byte{0x04, 0x00, 0x00, 0x00})                // claims 64 MiB, delivers 0
+	f.Add(append(frame([]byte(`{"id":2}`)), 0xde, 0xad)) // valid frame + trailing junk
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		body, err := readRawFrame(bytes.NewReader(data))
+		if err == nil {
+			// The decoder may only hand back bytes that were actually on the
+			// stream — a lying length prefix must fail, not fabricate.
+			if len(body) > len(data)-4 {
+				t.Fatalf("decoded %d bytes from a %d-byte stream", len(body), len(data))
+			}
+			// Re-framing the decoded body must round-trip to identical bytes.
+			reframed := make([]byte, 4+len(body))
+			binary.BigEndian.PutUint32(reframed, uint32(len(body)))
+			copy(reframed[4:], body)
+			back, err := readRawFrame(bytes.NewReader(reframed))
+			if err != nil {
+				t.Fatalf("re-framed decode failed: %v", err)
+			}
+			if !bytes.Equal(body, back) {
+				t.Fatal("re-framed body differs")
+			}
+		}
+
+		// Encoder -> decoder round trip for a request carrying the fuzz
+		// bytes as its method string (JSON coerces invalid UTF-8, so only
+		// valid strings can compare equal).
+		req := Request{ID: 7, Method: string(data)}
+		var buf bytes.Buffer
+		if _, err := writeFrame(&buf, req); err != nil {
+			if errors.Is(err, ErrFrameTooLarge) {
+				return
+			}
+			t.Fatalf("writeFrame: %v", err)
+		}
+		var got Request
+		if err := readFrame(bytes.NewReader(buf.Bytes()), &got); err != nil {
+			t.Fatalf("readFrame of encoder output: %v", err)
+		}
+		if utf8.ValidString(req.Method) && got.Method != req.Method {
+			t.Fatalf("method corrupted: %q -> %q", req.Method, got.Method)
+		}
+	})
+}
+
+// TestReadRawFrameBoundedAlloc pins the fix for the hostile-length-prefix
+// allocation: a peer claiming a maximum-size frame but delivering almost
+// nothing must cost memory proportional to the bytes received, not the 64
+// MiB promised.
+func TestReadRawFrameBoundedAlloc(t *testing.T) {
+	payload := make([]byte, 1024)
+	hdr := make([]byte, 4)
+	binary.BigEndian.PutUint32(hdr, MaxFrame) // claims 64 MiB
+	stream := append(hdr, payload...)         // delivers 1 KiB
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < 8; i++ {
+		if _, err := readRawFrame(bytes.NewReader(stream)); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("truncated max-size frame: err = %v, want unexpected EOF", err)
+		}
+	}
+	runtime.ReadMemStats(&after)
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 32<<20 {
+		t.Fatalf("8 truncated reads allocated %d bytes — decoder trusts the length prefix", grew)
+	}
+
+	// A frame right at the limit still works when the bytes really arrive.
+	big := make([]byte, MaxFrame)
+	binary.BigEndian.PutUint32(hdr, MaxFrame)
+	got, err := readRawFrame(io.MultiReader(bytes.NewReader(hdr), bytes.NewReader(big)))
+	if err != nil {
+		t.Fatalf("full max-size frame: %v", err)
+	}
+	if len(got) != MaxFrame {
+		t.Fatalf("decoded %d bytes, want %d", len(got), MaxFrame)
+	}
+}

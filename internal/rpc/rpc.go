@@ -28,6 +28,29 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"salus/internal/metrics"
+)
+
+// Handles into the process-wide metrics registry, acquired once so the
+// per-frame cost is a single atomic op (see internal/metrics). Server and
+// client are instrumented separately: a gateway process wants to tell its
+// own serving load from the load it generates as a client of others.
+var (
+	mSrvInflight = metrics.Default().Gauge("salus_rpc_server_inflight")
+	mSrvRequests = metrics.Default().Counter("salus_rpc_server_requests_total")
+	mSrvErrors   = metrics.Default().Counter("salus_rpc_server_errors_total")
+	mSrvRxBytes  = metrics.Default().Counter("salus_rpc_server_rx_bytes_total")
+	mSrvTxBytes  = metrics.Default().Counter("salus_rpc_server_tx_bytes_total")
+	mSrvHandle   = metrics.Default().Histogram("salus_rpc_server_handle_seconds")
+
+	mCliInflight = metrics.Default().Gauge("salus_rpc_client_inflight")
+	mCliCalls    = metrics.Default().Counter("salus_rpc_client_calls_total")
+	mCliTimeouts = metrics.Default().Counter("salus_rpc_client_timeouts_total")
+	mCliBroken   = metrics.Default().Counter("salus_rpc_client_broken_total")
+	mCliRxBytes  = metrics.Default().Counter("salus_rpc_client_rx_bytes_total")
+	mCliTxBytes  = metrics.Default().Counter("salus_rpc_client_tx_bytes_total")
+	mCliCall     = metrics.Default().Histogram("salus_rpc_client_call_seconds")
 )
 
 // MaxFrame bounds a single message (a U200 bitstream plus headroom).
@@ -78,23 +101,32 @@ type Response struct {
 	Result json.RawMessage `json:"result,omitempty"`
 }
 
-// writeFrame sends one length-prefixed JSON value.
-func writeFrame(w io.Writer, v any) error {
+// writeFrame sends one length-prefixed JSON value and returns the frame
+// size on the wire (header + body).
+func writeFrame(w io.Writer, v any) (int, error) {
 	body, err := json.Marshal(v)
 	if err != nil {
-		return fmt.Errorf("rpc: encode: %w", err)
+		return 0, fmt.Errorf("rpc: encode: %w", err)
 	}
 	if len(body) > MaxFrame {
-		return ErrFrameTooLarge
+		return 0, ErrFrameTooLarge
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
 	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+		return 0, err
 	}
-	_, err = w.Write(body)
-	return err
+	if _, err := w.Write(body); err != nil {
+		return 0, err
+	}
+	return 4 + len(body), nil
 }
+
+// frameChunk bounds how much readRawFrame allocates up front. The length
+// prefix is attacker-controlled: a hostile peer can claim a frame just
+// under MaxFrame (64 MiB) and then hang up, so the buffer must grow with
+// the bytes actually received, never with the bytes merely promised.
+const frameChunk = 256 << 10
 
 // readRawFrame receives one length-prefixed body. Any error here means the
 // stream position is no longer trustworthy.
@@ -103,13 +135,41 @@ func readRawFrame(r io.Reader) ([]byte, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := int(binary.BigEndian.Uint32(hdr[:]))
 	if n > MaxFrame {
 		return nil, ErrFrameTooLarge
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, err
+	if n <= frameChunk {
+		body := make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil, err
+		}
+		return body, nil
+	}
+	// Large frame: grow the buffer (doubling, capped at n) as bytes arrive.
+	body := make([]byte, 0, frameChunk)
+	for len(body) < n {
+		want := n - len(body)
+		if want > frameChunk {
+			want = frameChunk
+		}
+		off := len(body)
+		if cap(body) < off+want {
+			newCap := 2 * cap(body)
+			if newCap < off+want {
+				newCap = off + want
+			}
+			if newCap > n {
+				newCap = n
+			}
+			grown := make([]byte, off, newCap)
+			copy(grown, body)
+			body = grown
+		}
+		body = body[:off+want]
+		if _, err := io.ReadFull(r, body[off:]); err != nil {
+			return nil, err
+		}
 	}
 	return body, nil
 }
@@ -226,20 +286,33 @@ func (s *Server) serveConn(conn net.Conn) {
 	var wmu sync.Mutex // serialises response frames from concurrent handlers
 	sem := make(chan struct{}, maxInFlightPerConn)
 	for {
+		body, err := readRawFrame(br)
+		if err != nil {
+			return
+		}
+		mSrvRxBytes.Add(uint64(4 + len(body)))
 		var req Request
-		if err := readFrame(br, &req); err != nil {
+		if err := json.Unmarshal(body, &req); err != nil {
 			return
 		}
 		sem <- struct{}{}
 		handlers.Add(1)
+		mSrvInflight.Add(1)
 		go func(req Request) {
 			defer func() {
+				mSrvInflight.Add(-1)
 				<-sem
 				handlers.Done()
 			}()
+			mSrvRequests.Inc()
+			start := time.Now()
 			resp := s.dispatch(req)
+			mSrvHandle.Since(start)
+			if resp.Error != "" {
+				mSrvErrors.Inc()
+			}
 			wmu.Lock()
-			err := writeFrame(bw, resp)
+			nw, err := writeFrame(bw, resp)
 			if err == nil {
 				err = bw.Flush()
 			}
@@ -248,6 +321,8 @@ func (s *Server) serveConn(conn net.Conn) {
 				// The response stream is dead; tear the connection down so
 				// the read loop stops feeding it.
 				conn.Close()
+			} else {
+				mSrvTxBytes.Add(uint64(nw))
 			}
 		}(req)
 	}
@@ -349,6 +424,7 @@ func (c *Client) readLoop() {
 			c.fatal(fmt.Errorf("%w: read: %w", ErrBroken, err))
 			return
 		}
+		mCliRxBytes.Add(uint64(4 + len(body)))
 		var resp Response
 		if err := json.Unmarshal(body, &resp); err != nil {
 			// The frame cannot be attributed to any call; its owner would
@@ -380,6 +456,9 @@ func (c *Client) fatal(err error) {
 	c.mu.Lock()
 	if c.err == nil {
 		c.err = err
+		if errors.Is(err, ErrBroken) {
+			mCliBroken.Inc()
+		}
 	}
 	for id, ch := range c.pending {
 		delete(c.pending, id)
@@ -392,6 +471,14 @@ func (c *Client) fatal(err error) {
 // Call invokes method with params and decodes the result into result
 // (which may be nil to discard). Concurrent Calls share the connection.
 func (c *Client) Call(method string, params any, result any) error {
+	mCliCalls.Inc()
+	mCliInflight.Add(1)
+	start := time.Now()
+	defer func() {
+		mCliInflight.Add(-1)
+		mCliCall.Since(start)
+	}()
+
 	// Marshal before touching the wire: an encode failure must not poison
 	// the connection.
 	var raw json.RawMessage
@@ -418,11 +505,14 @@ func (c *Client) Call(method string, params any, result any) error {
 
 	req := Request{ID: id, Method: method, Params: raw}
 	c.wmu.Lock()
-	err := writeFrame(c.bw, req)
+	nw, err := writeFrame(c.bw, req)
 	if err == nil {
 		err = c.bw.Flush()
 	}
 	c.wmu.Unlock()
+	if err == nil {
+		mCliTxBytes.Add(uint64(nw))
+	}
 	if err != nil {
 		if errors.Is(err, ErrFrameTooLarge) {
 			// Rejected before any bytes hit the wire: the call simply never
@@ -455,6 +545,7 @@ func (c *Client) Call(method string, params any, result any) error {
 			delete(c.pending, id)
 			c.abandoned[id] = struct{}{}
 			c.mu.Unlock()
+			mCliTimeouts.Inc()
 			return fmt.Errorf("%w: %s after %v", ErrTimeout, method, timeout)
 		}
 		c.mu.Unlock()

@@ -196,7 +196,7 @@ func TestServerCloseUnblocksClients(t *testing.T) {
 
 func TestFrameSizeLimit(t *testing.T) {
 	var sink strings.Builder
-	err := writeFrame(&sink, strings.Repeat("y", MaxFrame+16))
+	_, err := writeFrame(&sink, strings.Repeat("y", MaxFrame+16))
 	if !errors.Is(err, ErrFrameTooLarge) {
 		t.Errorf("err = %v", err)
 	}
@@ -341,7 +341,7 @@ func TestClientBrokenAfterIDMismatch(t *testing.T) {
 			if err := readFrame(br, &req); err != nil {
 				return
 			}
-			if err := writeFrame(conn, Response{ID: req.ID + 7}); err != nil {
+			if _, err := writeFrame(conn, Response{ID: req.ID + 7}); err != nil {
 				return
 			}
 		}

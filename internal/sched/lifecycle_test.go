@@ -131,6 +131,7 @@ func TestDrainUnderLoadLosesNoJobs(t *testing.T) {
 	futs := make([]*Future, 0, jobs)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
+	halfway := make(chan struct{}) // closed once half the jobs are submitted
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -139,10 +140,13 @@ func TestDrainUnderLoadLosesNoJobs(t *testing.T) {
 			mu.Lock()
 			futs = append(futs, f)
 			mu.Unlock()
+			if i == jobs/2 {
+				close(halfway)
+			}
 		}
 	}()
 
-	time.Sleep(10 * time.Millisecond) // let the queues fill mid-stream
+	<-halfway // drain lands mid-stream, deterministically
 	if err := s.Drain(target, 10*time.Second); err != nil {
 		t.Fatalf("drain: %v", err)
 	}
@@ -208,7 +212,22 @@ func TestCloseDuringRedispatchResolvesAllFutures(t *testing.T) {
 	for i := range futs {
 		futs[i] = s.Submit(accel.GenConv(4, 4, 1, int64(i)))
 	}
-	time.Sleep(5 * time.Millisecond) // some retries now mid-flight
+	// Wait until the broken device has actually faulted and re-dispatched
+	// something, so Close really races in-flight retries; bounded so a
+	// regression cannot wedge the test.
+	retryDeadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(retryDeadline) {
+		if retried := func() uint64 {
+			var n uint64
+			for _, ds := range s.Stats() {
+				n += ds.Retried
+			}
+			return n
+		}(); retried > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
 	s.Close()
 
 	for i, f := range futs {

@@ -47,7 +47,27 @@ import (
 	"salus/internal/core"
 	"salus/internal/cryptoutil"
 	"salus/internal/fpga"
+	"salus/internal/metrics"
 	"salus/internal/rpc"
+)
+
+// Process-wide metric handles (see internal/metrics): acquired once so the
+// per-job hot path is a handful of atomic ops and no map lookups. The queue
+// depth gauge mirrors every device's queued counter in aggregate; the three
+// latency histograms split a job's life into time-in-queue, time-on-device,
+// and end-to-end.
+var (
+	mQueueDepth   = metrics.Default().Gauge("salus_sched_queue_depth")
+	mSubmitted    = metrics.Default().Counter("salus_sched_submitted_total")
+	mCompleted    = metrics.Default().Counter("salus_sched_completed_total")
+	mFailed       = metrics.Default().Counter("salus_sched_failed_total")
+	mRedispatched = metrics.Default().Counter("salus_sched_redispatched_total")
+	mQuarantines  = metrics.Default().Counter("salus_sched_quarantine_total")
+	mReadmits     = metrics.Default().Counter("salus_sched_readmit_total")
+	mPermanents   = metrics.Default().Counter("salus_sched_permanent_total")
+	mWait         = metrics.Default().Histogram("salus_sched_wait_seconds")
+	mService      = metrics.Default().Histogram("salus_sched_service_seconds")
+	mJob          = metrics.Default().Histogram("salus_sched_job_seconds")
 )
 
 // Defaults for Config's zero values.
@@ -169,6 +189,12 @@ type job struct {
 	kernel   string
 	attempts int // re-dispatches so far
 
+	// submitAt stamps Submit/SubmitSealed; enqueueAt restamps every
+	// (re)dispatch. Wait time is enqueue->worker-pickup, job time is
+	// submit->resolution.
+	submitAt  time.Time
+	enqueueAt time.Time
+
 	// Plaintext path (Submit).
 	w accel.Workload
 
@@ -256,8 +282,12 @@ func (d *device) beginProbe() {
 // onSuccess resets the breaker: one good job readmits the device.
 func (d *device) onSuccess() {
 	d.hmu.Lock()
+	readmitted := d.quarantined
 	d.consecFault, d.quarantined, d.probing, d.backoff = 0, false, false, 0
 	d.hmu.Unlock()
+	if readmitted {
+		mReadmits.Inc()
+	}
 }
 
 // onFault records a device fault and trips or extends the quarantine: a
@@ -268,6 +298,7 @@ func (d *device) onSuccess() {
 // may replace it (permanentAfter <= 0 never latches).
 func (d *device) onFault(now time.Time, after int, base, max time.Duration, permanentAfter int) {
 	d.hmu.Lock()
+	wasQuarantined, wasPermanent := d.quarantined, d.permanent
 	d.consecFault++
 	failedProbe := d.probing
 	d.probing = false
@@ -289,7 +320,15 @@ func (d *device) onFault(now time.Time, after int, base, max time.Duration, perm
 		d.quarantined = true
 		d.probeAt = now.Add(d.backoff)
 	}
+	tripped := d.quarantined && !wasQuarantined
+	latched := d.permanent && !wasPermanent
 	d.hmu.Unlock()
+	if tripped {
+		mQuarantines.Inc()
+	}
+	if latched {
+		mPermanents.Inc()
+	}
 }
 
 func (d *device) run(s *Scheduler) {
@@ -297,9 +336,12 @@ func (d *device) run(s *Scheduler) {
 	for j := range d.jobs {
 		if j.barrier {
 			d.queued.Add(-1)
+			mQueueDepth.Add(-1)
 			j.fut.resolve(nil, nil)
 			continue
 		}
+		serviceStart := time.Now()
+		mWait.Observe(serviceStart.Sub(j.enqueueAt))
 		var out []byte
 		var err error
 		if j.sealed {
@@ -308,8 +350,12 @@ func (d *device) run(s *Scheduler) {
 			out, err = d.sys.RunJob(j.w)
 		}
 		d.queued.Add(-1)
+		mQueueDepth.Add(-1)
+		mService.Since(serviceStart)
 		if err == nil {
 			d.completed.Add(1)
+			mCompleted.Inc()
+			mJob.Since(j.submitAt)
 			d.onSuccess()
 			j.fut.resolve(out, nil)
 			continue
@@ -320,10 +366,13 @@ func (d *device) run(s *Scheduler) {
 			if j.attempts < s.maxRetries {
 				j.attempts++
 				d.retried.Add(1)
+				mRedispatched.Inc()
 				s.redispatch(j, d, err)
 				continue
 			}
 		}
+		mFailed.Inc()
+		mJob.Since(j.submitAt)
 		j.fut.resolve(nil, err)
 	}
 }
@@ -469,6 +518,7 @@ func (s *Scheduler) Drain(dna fpga.DNA, timeout time.Duration) error {
 		return fmt.Errorf("sched: scheduler closed")
 	}
 	d.queued.Add(1)
+	mQueueDepth.Add(1)
 	d.senders.Add(1)
 	s.mu.RUnlock()
 
@@ -486,6 +536,7 @@ func (s *Scheduler) Drain(dna fpga.DNA, timeout time.Duration) error {
 		// The queue is so backed up even the sentinel would not fit; leave
 		// the device unroutable and release the reservation.
 		d.queued.Add(-1)
+		mQueueDepth.Add(-1)
 		d.senders.Done()
 		return fmt.Errorf("%w: %s", ErrDrainTimeout, dna)
 	}
@@ -598,16 +649,21 @@ func (s *Scheduler) route(kernelName string, exclude *device) (*device, error) {
 		return nil, fmt.Errorf("sched: no registered device runs kernel %q", kernelName)
 	}
 	d.queued.Add(1)
+	mQueueDepth.Add(1)
 	d.senders.Add(1)
 	return d, nil
 }
 
 func (s *Scheduler) submit(j *job) *Future {
 	j.fut = &Future{done: make(chan struct{})}
+	j.submitAt = time.Now()
+	mSubmitted.Inc()
 	d, err := s.route(j.kernel, nil)
 	if err != nil {
+		mFailed.Inc()
 		return errFuture(err)
 	}
+	j.enqueueAt = time.Now()
 	d.jobs <- j // blocks when the queue is full: backpressure, lock-free
 	d.senders.Done()
 	return j.fut
@@ -620,9 +676,12 @@ func (s *Scheduler) submit(j *job) *Future {
 func (s *Scheduler) redispatch(j *job, from *device, cause error) {
 	d, err := s.route(j.kernel, from)
 	if err != nil {
+		mFailed.Inc()
+		mJob.Since(j.submitAt)
 		j.fut.resolve(nil, fmt.Errorf("sched: retry %d dead-ended (%v): %w", j.attempts, err, cause))
 		return
 	}
+	j.enqueueAt = time.Now()
 	go func() {
 		d.jobs <- j
 		d.senders.Done()

@@ -454,7 +454,7 @@ func TestQuarantinedDeviceIsProbedAndReadmitted(t *testing.T) {
 	// Heal the board; after the quarantine window the next pick sends it a
 	// probe job and a success readmits it.
 	inj.Heal()
-	deadline := time.Now().Add(2 * time.Second)
+	deadline := time.Now().Add(10 * time.Second)
 	for {
 		if _, err := s.Submit(w).Wait(); err != nil {
 			t.Fatalf("job after heal: %v", err)
@@ -522,23 +522,36 @@ func TestPickSpreadsTiesRoundRobin(t *testing.T) {
 }
 
 func TestBackpressuredSubmitDoesNotBlockRegister(t *testing.T) {
-	systems, _, _ := newFaultyPool(t, 2, 200*time.Millisecond)
+	const jobLatency = 400 * time.Millisecond
+	systems, _, _ := newFaultyPool(t, 2, jobLatency)
 	s := New(Config{QueueDepth: 1})
 	if err := s.Register(systems[0]); err != nil {
 		t.Fatal(err)
 	}
 	defer s.Close()
 
-	// Saturate the single device: one job running (200 ms), one queued,
+	// Saturate the single device: one job running (400 ms), one queued,
 	// one blocked inside the channel send.
 	w := accel.GenConv(4, 4, 1, 5)
 	futs := make(chan *Future, 3)
 	for i := 0; i < 3; i++ {
 		go func() { futs <- s.Submit(w) }()
 	}
-	time.Sleep(20 * time.Millisecond) // let the third send block
+	// All three submissions reserve their send before blocking, so the
+	// queued counter reaching 3 proves the third submitter is at (or in)
+	// the channel send; the short grace lets it actually park there.
+	reserveDeadline := time.Now().Add(5 * time.Second)
+	for findStats(t, s, systems[0].Device.DNA()).Queued < 3 {
+		if time.Now().After(reserveDeadline) {
+			t.Fatal("submissions never reserved the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
 
-	// Register must not wait for the backpressured send to drain.
+	// Register must not wait for the backpressured send to drain: it has to
+	// return well before the running job's 400 ms completes (which is what
+	// unblocks the pending send).
 	done := make(chan error, 1)
 	go func() { done <- s.Register(systems[1]) }()
 	select {
@@ -546,7 +559,7 @@ func TestBackpressuredSubmitDoesNotBlockRegister(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-	case <-time.After(100 * time.Millisecond):
+	case <-time.After(jobLatency / 2):
 		t.Fatal("Register blocked behind a backpressured Submit")
 	}
 	for i := 0; i < 3; i++ {

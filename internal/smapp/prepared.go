@@ -5,8 +5,21 @@ import (
 	"crypto/sha256"
 	"sync"
 
+	"salus/internal/metrics"
 	"salus/internal/netlist"
 	"salus/internal/sgx"
+)
+
+// Fleet-wide mirrors of the cache/pool stats, so `salus-client top` can
+// report boot-amortisation hit rates without polling every cache.
+var (
+	mManip       = metrics.Default().Counter("salus_smapp_manip_total")
+	mManipHits   = metrics.Default().Counter("salus_smapp_manip_hits_total")
+	mEnc         = metrics.Default().Counter("salus_smapp_enc_total")
+	mEncHits     = metrics.Default().Counter("salus_smapp_enc_hits_total")
+	mQuoteGen    = metrics.Default().Counter("salus_smapp_quote_generated_total")
+	mQuoteReused = metrics.Default().Counter("salus_smapp_quote_reused_total")
+	mRekeys      = metrics.Default().Counter("salus_session_rekeys_total")
 )
 
 // Fleet-boot amortisation (ISSUE 4, after AgEncID's fleet bitstream keying).
@@ -136,6 +149,7 @@ func (c *PreparedCache) manipulated(digest [32]byte, loc netlist.Location, build
 		c.mu.Lock()
 		c.stats.ManipulationHits++
 		c.mu.Unlock()
+		mManipHits.Inc()
 		return e.cl, true, nil
 	}
 	e := &manipEntry{ready: make(chan struct{})}
@@ -152,6 +166,7 @@ func (c *PreparedCache) manipulated(digest [32]byte, loc netlist.Location, build
 		}
 	} else {
 		c.stats.Manipulations++
+		mManip.Inc()
 	}
 	c.mu.Unlock()
 	return e.cl, false, e.err
@@ -172,6 +187,7 @@ func (c *PreparedCache) encrypted(digest [32]byte, deviceKey []byte, profile str
 		c.mu.Lock()
 		c.stats.EncryptionHits++
 		c.mu.Unlock()
+		mEncHits.Inc()
 		return e.sealed, true, nil
 	}
 	e := &encEntry{ready: make(chan struct{})}
@@ -187,6 +203,7 @@ func (c *PreparedCache) encrypted(digest [32]byte, deviceKey []byte, profile str
 		}
 	} else {
 		c.stats.Encryptions++
+		mEnc.Inc()
 	}
 	c.mu.Unlock()
 	return e.sealed, false, e.err
@@ -248,6 +265,7 @@ func (p *QuotePool) get(gen func() (*ecdh.PrivateKey, sgx.Quote, error)) (*ecdh.
 		p.mu.Lock()
 		p.stats.Reused++
 		p.mu.Unlock()
+		mQuoteReused.Inc()
 		return e.priv, e.quote, true, nil
 	}
 	e := &quoteEntry{ready: make(chan struct{})}
@@ -263,6 +281,7 @@ func (p *QuotePool) get(gen func() (*ecdh.PrivateKey, sgx.Quote, error)) (*ecdh.
 		}
 	} else {
 		p.stats.Generated++
+		mQuoteGen.Inc()
 	}
 	p.mu.Unlock()
 	return e.priv, e.quote, false, e.err

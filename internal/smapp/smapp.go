@@ -621,6 +621,7 @@ func (a *SMApp) RekeySession() error {
 	}
 	a.keySession = newKey
 	a.ctr = newCtr
+	mRekeys.Inc()
 	return nil
 }
 
