@@ -6,7 +6,7 @@ GO ?= go
 COVER_PKGS = salus/internal/metrics salus/internal/sched salus/internal/fleet
 COVER_FLOOR = 75
 
-.PHONY: all build test vet race tier1 ci cover cover-check fmt-check bench bench-smoke bench-sched bench-degraded bench-fleet bench-metrics clean
+.PHONY: all build test vet race tier1 ci cover cover-check fmt-check bench bench-smoke bench-sched bench-sched-gate bench-degraded bench-fleet bench-metrics clean
 
 all: build test
 
@@ -58,6 +58,7 @@ ci: fmt-check vet
 	$(MAKE) cover-check
 	$(GO) test -race ./...
 	$(MAKE) bench-metrics
+	$(MAKE) bench-sched-gate
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -68,9 +69,15 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Multi-device scheduler throughput (serial baseline vs 1/2/4 devices,
-# plus the same pool with metrics disabled — the <3% overhead comparison).
-bench-sched:
-	$(GO) test -run xxx -bench SchedulerThroughput -benchtime 100x .
+# plus the same pool with metrics disabled — the <3% overhead comparison),
+# the batched-vs-unbatched data-path comparison, and the acceptance gate:
+# the batched path must clear 5x the 6.5 MB/s unbatched single-device
+# baseline with an allocation-free seal/open hot path.
+bench-sched: bench-sched-gate
+	$(GO) test -run xxx -bench 'SchedulerThroughput|BatchedThroughput' -benchtime 100x .
+
+bench-sched-gate:
+	SALUS_BENCH_SMOKE=1 $(GO) test -run TestBatchedThroughputGate -v . | grep -E 'MB/s|ok|FAIL|PASS'
 
 # Degraded pool: 3 devices with one permanently broken vs 2 healthy.
 bench-degraded:

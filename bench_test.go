@@ -18,6 +18,7 @@ package salus_test
 import (
 	"crypto/ed25519"
 	"crypto/rand"
+	"os"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -597,6 +598,129 @@ func BenchmarkSchedulerDegradedPool(b *testing.B) {
 		inj.broken.Store(true) // boots clean, then the board dies for good
 		run(b, systems)
 	})
+}
+
+// --- Batched data path --------------------------------------------------------
+
+// batchedBenchJobs is the batch size one benchmark op carries: large enough
+// to amortise the per-frame costs the batch exists to amortise, small
+// enough that an op stays well under a chunk (409 jobs) and memory stays
+// bounded at any benchtime.
+const batchedBenchJobs = 64
+
+// benchBatchedDevice runs one 64-job batch per op through SubmitBatch on
+// an n-device pool; MB/s is plaintext input bytes.
+func benchBatchedDevice(b *testing.B, n int) {
+	w := accel.GenConv(32, 32, 4, 1)
+	s := sched.New(sched.Config{})
+	for _, sys := range benchPool(b, n) {
+		if err := s.Register(sys); err != nil {
+			b.Fatal(err)
+		}
+	}
+	defer s.Close()
+	ws := make([]accel.Workload, batchedBenchJobs)
+	for i := range ws {
+		ws[i] = w
+	}
+	b.SetBytes(int64(batchedBenchJobs * len(w.Input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, f := range s.SubmitBatch(ws) {
+			if _, err := f.Wait(); err != nil {
+				b.Fatalf("job %d: %v", j, err)
+			}
+		}
+	}
+}
+
+// benchBatchedSingleDevice is the gate's subject: the batched path on the
+// same single-device pool the 6.5 MB/s unbatched baseline was measured on.
+func benchBatchedSingleDevice(b *testing.B) { benchBatchedDevice(b, 1) }
+
+// BenchmarkBatchedThroughput is the batched-vs-unbatched comparison on
+// identical pools and workloads: each op moves the same 64 jobs, once as 64
+// Submit round trips (64 sealed register frames per job program, one DMA
+// write and read per job) and once as one SubmitBatch (one sealed frame per
+// chunk, pipelined DMA). ns/op and MB/s are directly comparable across the
+// sub-benchmarks.
+func BenchmarkBatchedThroughput(b *testing.B) {
+	w := accel.GenConv(32, 32, 4, 1)
+
+	b.Run("unbatched-1dev", func(b *testing.B) {
+		s := sched.New(sched.Config{})
+		if err := s.Register(benchPool(b, 1)[0]); err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		b.SetBytes(int64(batchedBenchJobs * len(w.Input)))
+		b.ResetTimer()
+		futs := make([]*sched.Future, batchedBenchJobs)
+		for i := 0; i < b.N; i++ {
+			for j := range futs {
+				futs[j] = s.Submit(w)
+			}
+			for j, f := range futs {
+				if _, err := f.Wait(); err != nil {
+					b.Fatalf("job %d: %v", j, err)
+				}
+			}
+		}
+	})
+	b.Run("batched-1dev", func(b *testing.B) { benchBatchedDevice(b, 1) })
+	b.Run("batched-2dev", func(b *testing.B) { benchBatchedDevice(b, 2) })
+}
+
+// TestBatchedThroughputGate is the bench-sched acceptance gate: with
+// SALUS_BENCH_SMOKE=1 it measures the batched single-device path and fails
+// unless it clears 5x the 6.5 MB/s unbatched single-device baseline
+// (RESULTS.md), and unless the pooled batch seal/open hot path runs
+// allocation-free. Skipped in ordinary test runs — wall-clock assertions do
+// not belong in `go test ./...`.
+func TestBatchedThroughputGate(t *testing.T) {
+	if os.Getenv("SALUS_BENCH_SMOKE") == "" {
+		t.Skip("set SALUS_BENCH_SMOKE=1 (make bench-sched) to run the batched throughput gate")
+	}
+
+	const baselineMBs = 6.5
+	res := testing.Benchmark(benchBatchedSingleDevice)
+	mbs := float64(res.Bytes) * float64(res.N) / res.T.Seconds() / 1e6
+	t.Logf("batched single-device: %.1f MB/s (unbatched baseline %.1f MB/s, %.1fx)", mbs, baselineMBs, mbs/baselineMBs)
+	if mbs < 5*baselineMBs {
+		t.Fatalf("batched path moves %.1f MB/s, gate is 5x the %.1f MB/s baseline", mbs, baselineMBs)
+	}
+
+	// The zero-copy claim, pinned: sealing and opening a warm batch frame in
+	// both directions must not allocate.
+	key := cryptoutil.RandomKey(16)
+	host, err := channel.NewSealer(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := channel.NewSealer(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txns := make([]channel.RegTxn, 24)
+	for i := range txns {
+		txns[i] = channel.RegTxn{Write: true, Addr: accel.RegParam0, Data: uint64(i)}
+	}
+	dst := make([]channel.RegTxn, 0, len(txns))
+	ctr := uint64(0)
+	roundTrip := func() {
+		frame, err := host.SealRegBatchRequest(ctr, txns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dev.OpenRegBatchRequest(ctr, frame, dst[:0]); err != nil {
+			t.Fatal(err)
+		}
+		ctr++
+	}
+	roundTrip() // warm the sealer scratch
+	if allocs := testing.AllocsPerRun(100, roundTrip); allocs != 0 {
+		t.Fatalf("batch seal/open allocates %.0f objects/op, want 0", allocs)
+	}
 }
 
 // --- Elastic fleet -----------------------------------------------------------

@@ -126,6 +126,28 @@ func benchScheduler(n, jobs int) {
 	schedRate := float64(jobs) / time.Since(start).Seconds()
 	s.Close()
 
+	// Batched path: the same jobs submitted as one batch, so each device
+	// seals one register program per chunk and pays the fabric wait once
+	// per chunk instead of once per job.
+	sb := sched.New(sched.Config{})
+	for _, sys := range newPool(n) {
+		if err := sb.Register(sys); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ws := make([]accel.Workload, jobs)
+	for i := range ws {
+		ws[i] = workload(i)
+	}
+	start = time.Now()
+	for i, f := range sb.SubmitBatch(ws) {
+		if _, err := f.Wait(); err != nil {
+			log.Fatalf("batched job %d: %v", i, err)
+		}
+	}
+	batchRate := float64(jobs) / time.Since(start).Seconds()
+	sb.Close()
+
 	fmt.Printf("Scheduler throughput — %d jobs, Conv 16x16x4, session reuse enabled\n\n", jobs)
 	fmt.Printf("%-24s %12s\n", "configuration", "jobs/sec")
 	fmt.Printf("%-24s %12.1f\n", "serial, 1 device", serialRate)
@@ -134,4 +156,5 @@ func benchScheduler(n, jobs int) {
 		noun = "device"
 	}
 	fmt.Printf("%-24s %12.1f   (%.2fx)\n", fmt.Sprintf("scheduler, %d %s", n, noun), schedRate, schedRate/serialRate)
+	fmt.Printf("%-24s %12.1f   (%.2fx)\n", fmt.Sprintf("batched, %d %s", n, noun), batchRate, batchRate/serialRate)
 }

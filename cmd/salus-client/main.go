@@ -40,7 +40,8 @@ func main() {
 	instAddr := flag.String("inst", "127.0.0.1:7002", "instance / cluster gateway address")
 	expPath := flag.String("exp", "salus-expectations.json", "expectations file from salus-server")
 	kernel := flag.String("kernel", "Conv", "kernel the instance deployed")
-	jobs := flag.Int("jobs", 8, "cluster mode: number of concurrent sealed jobs")
+	jobs := flag.Int("jobs", 8, "cluster mode: number of sealed jobs")
+	batch := flag.Bool("batch", false, "cluster mode: submit all -jobs in one batched RPC frame instead of one call per job")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*expPath)
@@ -48,7 +49,7 @@ func main() {
 		log.Fatal(err)
 	}
 	if bytes.HasPrefix(bytes.TrimSpace(raw), []byte("[")) {
-		runCluster(raw, *instAddr, *kernel, *jobs)
+		runCluster(raw, *instAddr, *kernel, *jobs, *batch)
 		return
 	}
 
@@ -154,9 +155,11 @@ func runFleet(args []string) {
 	}
 }
 
-// runCluster attests a device pool and drives concurrent sealed jobs plus
-// live stats over one shared connection.
-func runCluster(raw []byte, addr, kernel string, jobs int) {
+// runCluster attests a device pool and drives sealed jobs plus live stats
+// over one shared connection — concurrently one call per job, or (with
+// -batch) as a single batched RPC frame riding the cluster's batched
+// secure data path.
+func runCluster(raw []byte, addr, kernel string, jobs int, batch bool) {
 	var exps []client.Expectations
 	if err := json.Unmarshal(raw, &exps); err != nil {
 		log.Fatal(err)
@@ -172,6 +175,11 @@ func runCluster(raw []byte, addr, kernel string, jobs int) {
 		log.Fatalf("pool NOT trusted: %v", err)
 	}
 	fmt.Printf("all %d devices attested; shared data key provisioned\n", len(exps))
+
+	if batch {
+		runClusterBatch(sess, kernel, jobs)
+		return
+	}
 
 	var wg sync.WaitGroup
 	errs := make(chan error, jobs)
@@ -230,6 +238,44 @@ func runCluster(raw []byte, addr, kernel string, jobs int) {
 		fmt.Printf("  %-12s %-10s completed=%-4d failed=%-3d retried=%-3d %s\n",
 			ds.DNA, ds.Kernel, ds.Completed, ds.Failed, ds.Retried, state)
 	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runClusterBatch submits every job in one RunBatch call: one RPC frame up,
+// one down, and on the device one sealed register program per chunk instead
+// of one secure round trip per job.
+func runClusterBatch(sess *remote.ClusterSession, kernel string, jobs int) {
+	inputs := make([]remote.BatchInput, jobs)
+	var inBytes int
+	for i := range inputs {
+		w, ok := salus.TestWorkload(kernel, int64(i))
+		if !ok {
+			log.Fatalf("unknown kernel %q", kernel)
+		}
+		inputs[i] = remote.BatchInput{Params: w.Params, Input: w.Input}
+		inBytes += len(w.Input)
+	}
+	start := time.Now()
+	results, err := sess.RunBatch(kernel, inputs)
+	if err != nil {
+		log.Fatalf("batch: %v", err)
+	}
+	elapsed := time.Since(start)
+	failed := 0
+	var outBytes int
+	for i, r := range results {
+		if r.Err != nil {
+			failed++
+			log.Printf("job %d: %v", i, r.Err)
+			continue
+		}
+		outBytes += len(r.Output)
+	}
+	mbps := float64(inBytes) / (1 << 20) / elapsed.Seconds()
+	fmt.Printf("batched %d sealed %s jobs in one frame: %d bytes in, %d bytes out, %v (%.1f MB/s), %d failed\n",
+		jobs, kernel, inBytes, outBytes, elapsed.Round(time.Millisecond), mbps, failed)
 	if failed > 0 {
 		os.Exit(1)
 	}

@@ -20,9 +20,12 @@
 package channel
 
 import (
+	"crypto/aes"
+	"crypto/cipher"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 
 	"salus/internal/cryptoutil"
 	"salus/internal/siphash"
@@ -30,18 +33,20 @@ import (
 
 // Message type tags.
 const (
-	MsgAttestReq     byte = 0x01
-	MsgAttestResp    byte = 0x02
-	MsgSecureReg     byte = 0x03
-	MsgSecureRegResp byte = 0x04
-	MsgDirectReg     byte = 0x05
-	MsgDirectResp    byte = 0x06
-	MsgMemWrite      byte = 0x07
-	MsgMemRead       byte = 0x08
-	MsgMemData       byte = 0x09
-	MsgRekey         byte = 0x0A
-	MsgRekeyResp     byte = 0x0B
-	MsgError         byte = 0x7F
+	MsgAttestReq          byte = 0x01
+	MsgAttestResp         byte = 0x02
+	MsgSecureReg          byte = 0x03
+	MsgSecureRegResp      byte = 0x04
+	MsgDirectReg          byte = 0x05
+	MsgDirectResp         byte = 0x06
+	MsgMemWrite           byte = 0x07
+	MsgMemRead            byte = 0x08
+	MsgMemData            byte = 0x09
+	MsgRekey              byte = 0x0A
+	MsgRekeyResp          byte = 0x0B
+	MsgSecureRegBatch     byte = 0x0C
+	MsgSecureRegBatchResp byte = 0x0D
+	MsgError              byte = 0x7F
 )
 
 // Errors returned by the decoders and the secure channel.
@@ -95,12 +100,18 @@ func AttestMACResp(key []byte, value uint64, dna string) uint64 {
 	return attestMAC(attestRespTag, key, value, dna)
 }
 
-// Encode serialises the request with its type tag.
-func (r AttestRequest) Encode() []byte {
+// Encode serialises the request with its type tag. A DNA longer than the
+// uint16 length prefix can carry is refused with ErrMalformed — encoding it
+// anyway would emit a frame whose own decoder rejects it (the length field
+// would silently truncate while the bytes all ship).
+func (r AttestRequest) Encode() ([]byte, error) {
+	if len(r.DNA) > maxStringLen {
+		return nil, fmt.Errorf("%w: DNA of %d bytes exceeds %d", ErrMalformed, len(r.DNA), maxStringLen)
+	}
 	out := []byte{MsgAttestReq}
 	out = binary.BigEndian.AppendUint64(out, r.Nonce)
 	out = appendString(out, r.DNA)
-	return binary.BigEndian.AppendUint64(out, r.MAC)
+	return binary.BigEndian.AppendUint64(out, r.MAC), nil
 }
 
 // DecodeAttestRequest parses an attestation request frame.
@@ -120,12 +131,17 @@ func DecodeAttestRequest(b []byte) (AttestRequest, error) {
 	return r, nil
 }
 
-// Encode serialises the response with its type tag.
-func (r AttestResponse) Encode() []byte {
+// Encode serialises the response with its type tag; a DNA longer than the
+// uint16 length prefix can carry is refused with ErrMalformed (see
+// AttestRequest.Encode).
+func (r AttestResponse) Encode() ([]byte, error) {
+	if len(r.DNA) > maxStringLen {
+		return nil, fmt.Errorf("%w: DNA of %d bytes exceeds %d", ErrMalformed, len(r.DNA), maxStringLen)
+	}
 	out := []byte{MsgAttestResp}
 	out = binary.BigEndian.AppendUint64(out, r.Value)
 	out = appendString(out, r.DNA)
-	return binary.BigEndian.AppendUint64(out, r.MAC)
+	return binary.BigEndian.AppendUint64(out, r.MAC), nil
 }
 
 // DecodeAttestResponse parses an attestation response frame.
@@ -162,8 +178,14 @@ type RegResult struct {
 	OK   bool
 }
 
-func encodeRegTxn(t RegTxn) []byte {
-	out := make([]byte, 0, 13)
+// regTxnSize and regResultSize are the fixed wire sizes of one encoded
+// transaction / result inside single and batched frames.
+const (
+	regTxnSize    = 13
+	regResultSize = 9
+)
+
+func appendRegTxn(out []byte, t RegTxn) []byte {
 	w := byte(0)
 	if t.Write {
 		w = 1
@@ -173,8 +195,12 @@ func encodeRegTxn(t RegTxn) []byte {
 	return binary.BigEndian.AppendUint64(out, t.Data)
 }
 
+func encodeRegTxn(t RegTxn) []byte {
+	return appendRegTxn(make([]byte, 0, regTxnSize), t)
+}
+
 func decodeRegTxn(b []byte) (RegTxn, bool) {
-	if len(b) != 13 || b[0] > 1 {
+	if len(b) != regTxnSize || b[0] > 1 {
 		return RegTxn{}, false
 	}
 	return RegTxn{
@@ -184,8 +210,7 @@ func decodeRegTxn(b []byte) (RegTxn, bool) {
 	}, true
 }
 
-func encodeRegResult(r RegResult) []byte {
-	out := make([]byte, 0, 9)
+func appendRegResult(out []byte, r RegResult) []byte {
 	ok := byte(0)
 	if r.OK {
 		ok = 1
@@ -194,8 +219,12 @@ func encodeRegResult(r RegResult) []byte {
 	return binary.BigEndian.AppendUint64(out, r.Data)
 }
 
+func encodeRegResult(r RegResult) []byte {
+	return appendRegResult(make([]byte, 0, regResultSize), r)
+}
+
 func decodeRegResult(b []byte) (RegResult, bool) {
-	if len(b) != 9 || b[0] > 1 {
+	if len(b) != regResultSize || b[0] > 1 {
 		return RegResult{}, false
 	}
 	return RegResult{OK: b[0] == 1, Data: binary.BigEndian.Uint64(b[1:9])}, true
@@ -284,6 +313,267 @@ func OpenRegResponse(key []byte, wantCtr uint64, frame []byte) (RegResult, error
 		return RegResult{}, ErrMalformed
 	}
 	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// Batched secure register channel
+//
+// A batched frame carries a whole register *program* — the per-job setup
+// writes, start commands, and status reads of an entire job batch — as one
+// transaction vector sealed under a single session-counter tick. One MAC
+// covers the vector, so inserting, dropping, or reordering transactions
+// inside a batch is as detectable as forging a frame: the SipHash tag
+// breaks. Replay protection is unchanged — the frame's counter must equal
+// the receiver's expected counter, and the whole batch advances it by
+// exactly one.
+
+// MaxBatchTxns bounds one batched frame. At 13 bytes per transaction the
+// largest request stays well under the shell's transaction limits, and a
+// hostile peer cannot make the receiver stage unbounded work behind one
+// MAC check.
+const MaxBatchTxns = 4096
+
+// batch payload layout: uint16 count, then count fixed-size records.
+const batchHdrSize = 2
+
+// Sealer seals and opens batched secure-register frames for one session
+// key with zero steady-state allocations: the AES block cipher is expanded
+// once per key, counter and keystream blocks live in the struct, and frame
+// buffers are grown once and reused. A Sealer is NOT safe for concurrent
+// use — callers (smapp.SMApp, smlogic.Logic) already serialise the secure
+// channel, which is single-lane by construction (one strictly increasing
+// counter).
+//
+// Aliasing rules: the []byte returned by Seal* and the slices returned by
+// Open* (when dst is nil) are valid only until the next call on the same
+// Sealer — copy them to retain. Open* decrypts into internal scratch, never
+// into the caller's frame.
+type Sealer struct {
+	key   []byte
+	block cipher.Block
+
+	// Scratch state. ctrBlk/ks live here rather than on the stack so the
+	// interface call into cipher.Block cannot force a per-call escape.
+	ctrBlk  [16]byte
+	ks      [16]byte
+	sealBuf []byte
+	openBuf []byte
+}
+
+// NewSealer expands key (16 bytes, Key_session) into a reusable batch
+// sealer.
+func NewSealer(key []byte) (*Sealer, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("channel: sealer: %w", err)
+	}
+	return &Sealer{key: append([]byte(nil), key...), block: block}, nil
+}
+
+// xorCTR applies the session keystream at (ctr, dir) to buf in place. The
+// counter block layout matches sessionIV, and the stream matches
+// cipher.NewCTR over that IV, so batched and single frames share one
+// keystream schedule (each counter value seals at most one frame per
+// direction, so streams never repeat).
+func (s *Sealer) xorCTR(ctr uint64, dir byte, buf []byte) {
+	for i := range s.ctrBlk {
+		s.ctrBlk[i] = 0
+	}
+	binary.BigEndian.PutUint64(s.ctrBlk[:8], ctr)
+	s.ctrBlk[8] = dir
+	for off := 0; off < len(buf); off += 16 {
+		s.block.Encrypt(s.ks[:], s.ctrBlk[:])
+		n := len(buf) - off
+		if n > 16 {
+			n = 16
+		}
+		for i := 0; i < n; i++ {
+			buf[off+i] ^= s.ks[i]
+		}
+		for i := 15; i >= 0; i-- {
+			s.ctrBlk[i]++
+			if s.ctrBlk[i] != 0 {
+				break
+			}
+		}
+	}
+}
+
+// scratchSeal returns the seal buffer with at least n capacity, length 0.
+func (s *Sealer) scratchSeal(n int) []byte {
+	if cap(s.sealBuf) < n {
+		s.sealBuf = make([]byte, 0, n)
+	}
+	return s.sealBuf[:0]
+}
+
+// seal builds tag‖ctr‖CTR(payload)‖MAC into the seal buffer. build appends
+// the plaintext payload.
+func (s *Sealer) seal(tag, dir byte, ctr uint64, payloadLen int, build func([]byte) []byte) []byte {
+	buf := s.scratchSeal(1 + 8 + payloadLen + 8)
+	buf = append(buf, tag)
+	buf = binary.BigEndian.AppendUint64(buf, ctr)
+	payloadStart := len(buf)
+	buf = build(buf)
+	s.xorCTR(ctr, dir, buf[payloadStart:])
+	mac := siphash.Sum64(s.key, buf)
+	buf = binary.BigEndian.AppendUint64(buf, mac)
+	s.sealBuf = buf
+	return buf
+}
+
+// open verifies tag, MAC, and counter, then decrypts the payload into the
+// open buffer (the caller's frame is left untouched).
+func (s *Sealer) open(tag, dir byte, wantCtr uint64, frame []byte) ([]byte, error) {
+	if len(frame) < 1+8+8 || frame[0] != tag {
+		return nil, ErrMalformed
+	}
+	body := frame[:len(frame)-8]
+	mac := binary.BigEndian.Uint64(frame[len(frame)-8:])
+	if !siphash.Verify(s.key, body, mac) {
+		return nil, ErrMAC
+	}
+	ctr := binary.BigEndian.Uint64(body[1:9])
+	if ctr != wantCtr {
+		return nil, fmt.Errorf("%w: counter %d, expected %d", ErrReplay, ctr, wantCtr)
+	}
+	ct := body[9:]
+	if cap(s.openBuf) < len(ct) {
+		s.openBuf = make([]byte, 0, len(ct))
+	}
+	pt := s.openBuf[:len(ct)]
+	copy(pt, ct)
+	s.xorCTR(ctr, dir, pt)
+	s.openBuf = pt
+	return pt, nil
+}
+
+// SealRegBatchRequest seals txns (1..MaxBatchTxns transactions) for the
+// host→CL direction under one counter tick. The returned frame is valid
+// until the next call on this Sealer.
+func (s *Sealer) SealRegBatchRequest(ctr uint64, txns []RegTxn) ([]byte, error) {
+	if len(txns) == 0 || len(txns) > MaxBatchTxns {
+		return nil, fmt.Errorf("%w: batch of %d transactions", ErrMalformed, len(txns))
+	}
+	return s.seal(MsgSecureRegBatch, dirRequest, ctr, batchHdrSize+regTxnSize*len(txns), func(buf []byte) []byte {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(txns)))
+		for _, t := range txns {
+			buf = appendRegTxn(buf, t)
+		}
+		return buf
+	}), nil
+}
+
+// OpenRegBatchRequest verifies and decrypts a batched request. Results are
+// appended to dst (which may be nil); the returned slice follows the
+// Sealer aliasing rules when dst capacity is insufficient.
+func (s *Sealer) OpenRegBatchRequest(wantCtr uint64, frame []byte, dst []RegTxn) ([]RegTxn, error) {
+	pt, err := s.open(MsgSecureRegBatch, dirRequest, wantCtr, frame)
+	if err != nil {
+		return nil, err
+	}
+	if len(pt) < batchHdrSize {
+		return nil, ErrMalformed
+	}
+	n := int(binary.BigEndian.Uint16(pt))
+	if n == 0 || n > MaxBatchTxns || len(pt)-batchHdrSize != n*regTxnSize {
+		return nil, ErrMalformed
+	}
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		rec := pt[batchHdrSize+i*regTxnSize:]
+		txn, ok := decodeRegTxn(rec[:regTxnSize])
+		if !ok {
+			return nil, ErrMalformed
+		}
+		dst = append(dst, txn)
+	}
+	return dst, nil
+}
+
+// SealRegBatchResponse seals the result vector for the CL→host direction
+// at the request's counter.
+func (s *Sealer) SealRegBatchResponse(ctr uint64, res []RegResult) ([]byte, error) {
+	if len(res) == 0 || len(res) > MaxBatchTxns {
+		return nil, fmt.Errorf("%w: batch of %d results", ErrMalformed, len(res))
+	}
+	return s.seal(MsgSecureRegBatchResp, dirResponse, ctr, batchHdrSize+regResultSize*len(res), func(buf []byte) []byte {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(res)))
+		for _, r := range res {
+			buf = appendRegResult(buf, r)
+		}
+		return buf
+	}), nil
+}
+
+// OpenRegBatchResponse verifies and decrypts a batched response into dst.
+func (s *Sealer) OpenRegBatchResponse(wantCtr uint64, frame []byte, dst []RegResult) ([]RegResult, error) {
+	pt, err := s.open(MsgSecureRegBatchResp, dirResponse, wantCtr, frame)
+	if err != nil {
+		return nil, err
+	}
+	if len(pt) < batchHdrSize {
+		return nil, ErrMalformed
+	}
+	n := int(binary.BigEndian.Uint16(pt))
+	if n == 0 || n > MaxBatchTxns || len(pt)-batchHdrSize != n*regResultSize {
+		return nil, ErrMalformed
+	}
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		rec := pt[batchHdrSize+i*regResultSize:]
+		r, ok := decodeRegResult(rec[:regResultSize])
+		if !ok {
+			return nil, ErrMalformed
+		}
+		dst = append(dst, r)
+	}
+	return dst, nil
+}
+
+// SealRegBatchRequest is the one-shot (allocating) form of
+// Sealer.SealRegBatchRequest; hot paths should hold a Sealer instead.
+func SealRegBatchRequest(key []byte, ctr uint64, txns []RegTxn) ([]byte, error) {
+	s, err := NewSealer(key)
+	if err != nil {
+		return nil, err
+	}
+	frame, err := s.SealRegBatchRequest(ctr, txns)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), frame...), nil
+}
+
+// OpenRegBatchRequest is the one-shot form of Sealer.OpenRegBatchRequest.
+func OpenRegBatchRequest(key []byte, wantCtr uint64, frame []byte) ([]RegTxn, error) {
+	s, err := NewSealer(key)
+	if err != nil {
+		return nil, err
+	}
+	return s.OpenRegBatchRequest(wantCtr, frame, nil)
+}
+
+// SealRegBatchResponse is the one-shot form of Sealer.SealRegBatchResponse.
+func SealRegBatchResponse(key []byte, ctr uint64, res []RegResult) ([]byte, error) {
+	s, err := NewSealer(key)
+	if err != nil {
+		return nil, err
+	}
+	frame, err := s.SealRegBatchResponse(ctr, res)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), frame...), nil
+}
+
+// OpenRegBatchResponse is the one-shot form of Sealer.OpenRegBatchResponse.
+func OpenRegBatchResponse(key []byte, wantCtr uint64, frame []byte) ([]RegResult, error) {
+	s, err := NewSealer(key)
+	if err != nil {
+		return nil, err
+	}
+	return s.OpenRegBatchResponse(wantCtr, frame, nil)
 }
 
 // ---------------------------------------------------------------------------
@@ -384,12 +674,17 @@ type MemRead struct {
 	N    uint32
 }
 
-// EncodeMemWrite frames a DMA write.
-func EncodeMemWrite(m MemWrite) []byte {
+// EncodeMemWrite frames a DMA write. Payloads beyond the uint32 length
+// field are refused with ErrMalformed instead of encoding a frame whose
+// length prefix silently truncates.
+func EncodeMemWrite(m MemWrite) ([]byte, error) {
+	if uint64(len(m.Data)) > math.MaxUint32 {
+		return nil, fmt.Errorf("%w: DMA write of %d bytes exceeds frame limit", ErrMalformed, len(m.Data))
+	}
 	out := []byte{MsgMemWrite}
 	out = binary.BigEndian.AppendUint64(out, m.Addr)
 	out = binary.BigEndian.AppendUint32(out, uint32(len(m.Data)))
-	return append(out, m.Data...)
+	return append(out, m.Data...), nil
 }
 
 // DecodeMemWrite parses a DMA write.
@@ -421,11 +716,15 @@ func DecodeMemRead(b []byte) (MemRead, error) {
 	return MemRead{Addr: binary.BigEndian.Uint64(body), N: binary.BigEndian.Uint32(body[8:12])}, nil
 }
 
-// EncodeMemData frames DMA read data.
-func EncodeMemData(data []byte) []byte {
+// EncodeMemData frames DMA read data; like EncodeMemWrite, data beyond the
+// uint32 length field is refused with ErrMalformed.
+func EncodeMemData(data []byte) ([]byte, error) {
+	if uint64(len(data)) > math.MaxUint32 {
+		return nil, fmt.Errorf("%w: DMA data of %d bytes exceeds frame limit", ErrMalformed, len(data))
+	}
 	out := []byte{MsgMemData}
 	out = binary.BigEndian.AppendUint32(out, uint32(len(data)))
-	return append(out, data...)
+	return append(out, data...), nil
 }
 
 // DecodeMemData parses DMA read data.
@@ -441,8 +740,14 @@ func DecodeMemData(b []byte) ([]byte, error) {
 	return body[4:], nil
 }
 
-// EncodeError frames a CL-side error string.
+// EncodeError frames a CL-side error string. The error path must always
+// produce a decodable frame, so an overlong message is clamped to the
+// uint16 length prefix rather than encoding a short length followed by the
+// full bytes (which the decoder would reject, masking the original error).
 func EncodeError(msg string) []byte {
+	if len(msg) > maxStringLen {
+		msg = msg[:maxStringLen]
+	}
 	return appendString([]byte{MsgError}, msg)
 }
 
@@ -477,6 +782,12 @@ func expectTag(b []byte, tag byte) ([]byte, bool) {
 	return b[1:], true
 }
 
+// maxStringLen is the longest string the uint16 length prefix can carry.
+const maxStringLen = 1<<16 - 1
+
+// appendString encodes a length-prefixed string. Callers must validate
+// len(s) <= maxStringLen first — a longer string would encode a truncated
+// length followed by the full bytes, a frame the decoder rejects.
 func appendString(out []byte, s string) []byte {
 	out = binary.BigEndian.AppendUint16(out, uint16(len(s)))
 	return append(out, s...)

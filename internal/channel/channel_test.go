@@ -11,11 +11,22 @@ import (
 
 func key16() []byte { return cryptoutil.RandomKey(16) }
 
+// mustBytes unwraps the two-valued encoders for inputs known to be within
+// wire limits.
+func mustBytes(t testing.TB, b []byte, err error) []byte {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
 func TestAttestRequestRoundTrip(t *testing.T) {
 	key := key16()
 	req := AttestRequest{Nonce: 0xDEADBEEF, DNA: "A58275817"}
 	req.MAC = AttestMACReq(key, req.Nonce, req.DNA)
-	got, err := DecodeAttestRequest(req.Encode())
+	reqEnc, encErr := req.Encode()
+	got, err := DecodeAttestRequest(mustBytes(t, reqEnc, encErr))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +42,8 @@ func TestAttestResponseRoundTrip(t *testing.T) {
 	key := key16()
 	resp := AttestResponse{Value: 101, DNA: "A58293108"}
 	resp.MAC = AttestMACResp(key, resp.Value, resp.DNA)
-	got, err := DecodeAttestResponse(resp.Encode())
+	respEnc, encErr := resp.Encode()
+	got, err := DecodeAttestResponse(mustBytes(t, respEnc, encErr))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +68,8 @@ func TestAttestMACBindsDNA(t *testing.T) {
 
 func TestDecodeAttestRejectsMalformed(t *testing.T) {
 	req := AttestRequest{Nonce: 1, DNA: "d", MAC: 2}
-	enc := req.Encode()
+	reqEnc, encErr := req.Encode()
+	enc := mustBytes(t, reqEnc, encErr)
 	if _, err := DecodeAttestRequest(enc[:len(enc)-1]); err == nil {
 		t.Error("accepted truncated request")
 	}
@@ -181,7 +194,8 @@ func TestDirectRegRoundTrip(t *testing.T) {
 
 func TestMemMessages(t *testing.T) {
 	w := MemWrite{Addr: 0x1000, Data: []byte("ciphertext feature map")}
-	got, err := DecodeMemWrite(EncodeMemWrite(w))
+	wEnc, encErr := EncodeMemWrite(w)
+	got, err := DecodeMemWrite(mustBytes(t, wEnc, encErr))
 	if err != nil || got.Addr != w.Addr || !bytes.Equal(got.Data, w.Data) {
 		t.Errorf("MemWrite round trip: %+v, %v", got, err)
 	}
@@ -190,18 +204,21 @@ func TestMemMessages(t *testing.T) {
 	if err != nil || gotR != r {
 		t.Errorf("MemRead round trip: %+v, %v", gotR, err)
 	}
-	data, err := DecodeMemData(EncodeMemData([]byte{1, 2, 3}))
+	dEnc, dErr := EncodeMemData([]byte{1, 2, 3})
+	data, err := DecodeMemData(mustBytes(t, dEnc, dErr))
 	if err != nil || !bytes.Equal(data, []byte{1, 2, 3}) {
 		t.Errorf("MemData round trip: %v, %v", data, err)
 	}
 }
 
 func TestMemRejectsLengthMismatch(t *testing.T) {
-	enc := EncodeMemWrite(MemWrite{Addr: 1, Data: []byte{1, 2, 3}})
+	mEnc, mErr := EncodeMemWrite(MemWrite{Addr: 1, Data: []byte{1, 2, 3}})
+	enc := mustBytes(t, mEnc, mErr)
 	if _, err := DecodeMemWrite(enc[:len(enc)-1]); err == nil {
 		t.Error("accepted truncated MemWrite")
 	}
-	encD := EncodeMemData([]byte{1, 2, 3, 4})
+	dEnc2, dErr2 := EncodeMemData([]byte{1, 2, 3, 4})
+	encD := mustBytes(t, dEnc2, dErr2)
 	if _, err := DecodeMemData(append(encD, 0xFF)); err == nil {
 		t.Error("accepted over-long MemData")
 	}

@@ -13,10 +13,16 @@ import (
 func FuzzDecoders(f *testing.F) {
 	key := cryptoutil.RandomKey(16)
 	req := AttestRequest{Nonce: 1, DNA: "A58275817", MAC: 2}
-	f.Add(req.Encode())
+	reqEnc, _ := req.Encode()
+	f.Add(reqEnc)
 	frame, _ := SealRegRequest(key, 3, RegTxn{Write: true, Addr: 4, Data: 5})
 	f.Add(frame)
-	f.Add(EncodeMemWrite(MemWrite{Addr: 1, Data: []byte{1, 2, 3}}))
+	batchFrame, _ := SealRegBatchRequest(key, 3, []RegTxn{{Write: true, Addr: 4, Data: 5}, {Addr: 6}})
+	f.Add(batchFrame)
+	batchResp, _ := SealRegBatchResponse(key, 3, []RegResult{{OK: true, Data: 9}})
+	f.Add(batchResp)
+	memEnc, _ := EncodeMemWrite(MemWrite{Addr: 1, Data: []byte{1, 2, 3}})
+	f.Add(memEnc)
 	f.Add(EncodeError("boom"))
 	f.Add([]byte{})
 
@@ -35,5 +41,15 @@ func FuzzDecoders(f *testing.F) {
 			_ = txn
 		}
 		OpenRegResponse(key, 3, data)
+		if txns, err := OpenRegBatchRequest(key, 3, data); err == nil {
+			if len(txns) == 0 || len(txns) > MaxBatchTxns {
+				t.Fatalf("batch open accepted %d txns", len(txns))
+			}
+		}
+		if res, err := OpenRegBatchResponse(key, 3, data); err == nil {
+			if len(res) == 0 || len(res) > MaxBatchTxns {
+				t.Fatalf("batch response open accepted %d results", len(res))
+			}
+		}
 	})
 }

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"salus/internal/accel"
+)
+
+func bootedSystem(t testing.TB, opts ...func(*SystemConfig)) *System {
+	t.Helper()
+	s := newTestSystem(t, opts...)
+	if _, err := s.SecureBoot(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func convBatch(n int) []accel.Workload {
+	ws := make([]accel.Workload, n)
+	for i := range ws {
+		ws[i] = accel.GenConv(4+i%5, 4+i%3, 1+i%2, int64(100+i))
+	}
+	return ws
+}
+
+// TestRunJobBatchMatchesReference: every job in a batch produces exactly
+// the output the kernel computes directly — across differently shaped
+// workloads sharing the chunk's sealed frame and IV range.
+func TestRunJobBatchMatchesReference(t *testing.T) {
+	s := bootedSystem(t)
+	ws := convBatch(12)
+	results, err := s.RunJobBatch(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(ws) {
+		t.Fatalf("%d results for %d jobs", len(results), len(ws))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		want, err := ws[i].Kernel.Compute(ws[i].Params, ws[i].Input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(r.Output, want) {
+			t.Errorf("job %d output diverges from reference", i)
+		}
+	}
+}
+
+// TestRunJobBatchCrossesEpochBoundaries: with SessionRekeyEvery=3, a
+// 10-job batch spans four epochs — each installed by a coalesced 4-write
+// exchange at the front of its chunk's frame — and every job still
+// decrypts correctly. This is the host/device IV-schedule lockstep test.
+func TestRunJobBatchCrossesEpochBoundaries(t *testing.T) {
+	s := bootedSystem(t, func(c *SystemConfig) { c.SessionRekeyEvery = 3 })
+	ws := convBatch(10)
+	results, err := s.RunJobBatch(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		want, _ := ws[i].Kernel.Compute(ws[i].Params, ws[i].Input)
+		if !bytes.Equal(r.Output, want) {
+			t.Errorf("job %d output diverges across the epoch boundary", i)
+		}
+	}
+}
+
+// TestRunJobBatchContinuesLiveSession: a batch after single jobs picks up
+// the live epoch mid-schedule (sessJobs > 0) without desyncing, and a
+// single job after the batch still runs — both directions of the
+// single/batched interleaving.
+func TestRunJobBatchContinuesLiveSession(t *testing.T) {
+	s := bootedSystem(t)
+	w, _ := accel.TestWorkload("Conv", 3)
+	if _, err := s.RunJob(w); err != nil {
+		t.Fatal(err)
+	}
+	results, err := s.RunJobBatch(convBatch(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("batched job %d after a single job: %v", i, r.Err)
+		}
+	}
+	out, err := s.RunJob(w)
+	if err != nil {
+		t.Fatalf("single job after a batch: %v", err)
+	}
+	want, _ := w.Kernel.Compute(w.Params, w.Input)
+	if !bytes.Equal(out, want) {
+		t.Error("single job after a batch diverges")
+	}
+}
+
+// TestRunJobBatchRejectsOversizeJobIndividually: a job too large for the
+// pipelined buffer half is refused with a pointer at the single-job path,
+// while its batch-mates run to completion.
+func TestRunJobBatchRejectsOversizeJobIndividually(t *testing.T) {
+	s := bootedSystem(t)
+	huge := accel.Workload{
+		Kernel: accel.Conv{},
+		Params: [4]uint64{4096, 256, 4, 0},
+		Input:  make([]byte, 4096*256*4), // slot (in + 2*in+4096) exceeds the 8 MiB half
+	}
+	ws := []accel.Workload{accel.GenConv(4, 4, 1, 1), huge, accel.GenConv(4, 4, 1, 2)}
+	results, err := s.RunJobBatch(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "single job") {
+		t.Fatalf("oversize job error = %v, want per-job rejection pointing at the single-job path", results[1].Err)
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].Err != nil {
+			t.Fatalf("sibling job %d sunk by the oversize one: %v", i, results[i].Err)
+		}
+		want, _ := ws[i].Kernel.Compute(ws[i].Params, ws[i].Input)
+		if !bytes.Equal(results[i].Output, want) {
+			t.Errorf("sibling job %d output diverges", i)
+		}
+	}
+}
+
+// TestRunJobBatchRejectsWrongKernelIndividually mirrors the single-job
+// path's kernel check, per job.
+func TestRunJobBatchRejectsWrongKernelIndividually(t *testing.T) {
+	s := bootedSystem(t)
+	wrong, _ := accel.TestWorkload("Affine", 1)
+	ws := []accel.Workload{accel.GenConv(4, 4, 1, 1), wrong}
+	results, err := s.RunJobBatch(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[1].Err == nil {
+		t.Fatal("wrong-kernel job accepted into a Conv batch")
+	}
+	if results[0].Err != nil {
+		t.Fatalf("sibling job failed: %v", results[0].Err)
+	}
+}
+
+// TestRunJobBatchRequiresBoot and the empty batch degenerate case.
+func TestRunJobBatchRequiresBoot(t *testing.T) {
+	s := newTestSystem(t)
+	if _, err := s.RunJobBatch(convBatch(2)); err == nil {
+		t.Fatal("batch ran on an unbooted system")
+	}
+	booted := bootedSystem(t)
+	results, err := booted.RunJobBatch(nil)
+	if err != nil || len(results) != 0 {
+		t.Fatalf("empty batch: %v, %d results", err, len(results))
+	}
+}
+
+// TestRunJobBatchLargeEnoughToPipeline forces multiple chunks through the
+// memory-half bound (big inputs) so the overlapped DMA writer actually
+// runs, and checks nothing corrupts across the double-buffered halves.
+func TestRunJobBatchLargeEnoughToPipeline(t *testing.T) {
+	s := bootedSystem(t)
+	// ~1.5 MiB inputs: a slot (input + doubled output capacity) is ~4.7
+	// MiB, so no two jobs share an 8 MiB half and every chunk boundary
+	// exercises the half-flip.
+	ws := make([]accel.Workload, 4)
+	for i := range ws {
+		ws[i] = accel.GenConv(512, 512, 3, int64(i))
+	}
+	results, err := s.RunJobBatch(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		want, _ := ws[i].Kernel.Compute(ws[i].Params, ws[i].Input)
+		if !bytes.Equal(r.Output, want) {
+			t.Errorf("job %d output corrupted across buffer halves", i)
+		}
+	}
+}

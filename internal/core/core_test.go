@@ -369,7 +369,11 @@ func TestAblationReadbackEnabled(t *testing.T) {
 	// have the real CL accept it.
 	req := channel.AttestRequest{Nonce: 999, DNA: string(s.Device.DNA())}
 	req.MAC = channel.AttestMACReq(stolen, req.Nonce, req.DNA)
-	resp, err := s.Shell.Transact(req.Encode())
+	reqEnc, err := req.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.Shell.Transact(reqEnc)
 	if err != nil {
 		t.Fatal(err)
 	}

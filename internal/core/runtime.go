@@ -278,9 +278,13 @@ func (s *System) dmaWrite(addr uint64, data []byte) error {
 		if end > len(data) {
 			end = len(data)
 		}
-		resp, err := s.User.Direct(channel.EncodeMemWrite(channel.MemWrite{
+		frame, err := channel.EncodeMemWrite(channel.MemWrite{
 			Addr: addr + uint64(off), Data: data[off:end],
-		}))
+		})
+		if err != nil {
+			return err
+		}
+		resp, err := s.User.Direct(frame)
 		if err != nil {
 			return err
 		}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"salus/internal/accel"
+	"salus/internal/channel"
 	"salus/internal/client"
 	"salus/internal/cryptoutil"
 	"salus/internal/fpga"
@@ -98,6 +99,12 @@ type System struct {
 	sessIV     []byte
 	sessJobs   uint32
 	rekeyEvery int
+
+	// Batched-path scratch (guarded by jobMu): the register program and
+	// result vectors are reused across batches so the steady-state framing
+	// path allocates nothing.
+	batchTxns []channel.RegTxn
+	batchRes  []channel.RegResult
 }
 
 // NewSystem manufactures the device, provisions the TEE host, develops the

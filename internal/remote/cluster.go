@@ -46,6 +46,33 @@ type ClusterProvisionRequest struct {
 	Provisions []ProvisionRequest `json:"provisions"`
 }
 
+// BatchJob is one sealed job inside a batch request.
+type BatchJob struct {
+	Params      [4]uint64 `json:"params"`
+	SealedInput []byte    `json:"sealed_input"`
+}
+
+// BatchRequest carries a whole batch of sealed jobs for one kernel in a
+// single RPC frame — one length prefix, one JSON envelope, one scheduler
+// hand-off — instead of one round trip per job.
+type BatchRequest struct {
+	Kernel string     `json:"kernel"`
+	Jobs   []BatchJob `json:"jobs"`
+}
+
+// BatchJobResult is one job's outcome, index-aligned with the request.
+// Jobs fail individually (an oversize input, a device-side rejection)
+// without failing their batch-mates.
+type BatchJobResult struct {
+	SealedOutput []byte `json:"sealed_output,omitempty"`
+	Error        string `json:"error,omitempty"`
+}
+
+// BatchResponse carries every job's result in request order.
+type BatchResponse struct {
+	Results []BatchJobResult `json:"results"`
+}
+
 // ClusterStatsResponse snapshots the scheduler.
 type ClusterStatsResponse struct {
 	Devices []sched.DeviceStats `json:"devices"`
@@ -164,6 +191,26 @@ func handleClusterServing(srv *rpc.Server, sch *sched.Scheduler) {
 			return JobResponse{}, err
 		}
 		return JobResponse{SealedOutput: out}, nil
+	}))
+	srv.Handle("Cluster.RunBatch", rpc.Typed(func(in BatchRequest) (BatchResponse, error) {
+		if len(in.Jobs) == 0 {
+			return BatchResponse{}, fmt.Errorf("remote: empty batch")
+		}
+		jobs := make([]core.SealedJob, len(in.Jobs))
+		for i, j := range in.Jobs {
+			jobs[i] = core.SealedJob{Params: j.Params, Input: j.SealedInput}
+		}
+		futs := sch.SubmitSealedBatch(in.Kernel, jobs)
+		resp := BatchResponse{Results: make([]BatchJobResult, len(futs))}
+		for i, f := range futs {
+			out, err := f.Wait()
+			if err != nil {
+				resp.Results[i].Error = err.Error()
+			} else {
+				resp.Results[i].SealedOutput = out
+			}
+		}
+		return resp, nil
 	}))
 	srv.Handle("Cluster.Stats", rpc.Typed(func(struct{}) (ClusterStatsResponse, error) {
 		return ClusterStatsResponse{Devices: sch.Stats()}, nil
@@ -371,6 +418,67 @@ func (s *ClusterSession) RunJob(kernel string, params [4]uint64, input []byte) (
 		return nil, fmt.Errorf("remote: sealed output rejected: %w", err)
 	}
 	return out, nil
+}
+
+// BatchInput is one plaintext job handed to RunBatch.
+type BatchInput struct {
+	Params [4]uint64
+	Input  []byte
+}
+
+// BatchResult is one job's opened outcome, index-aligned with the inputs.
+type BatchResult struct {
+	Output []byte
+	Err    error
+}
+
+// RunBatch seals every input under the pool's shared data key and submits
+// the whole batch in one RPC frame; the cluster runs it through the
+// scheduler's batched path (one sealed register program per chunk on the
+// device). Jobs succeed or fail individually — the returned slice is
+// index-aligned with jobs — while the error covers whole-batch failures
+// (unattested session, unreachable gateway, malformed response). Like
+// RunJob, a batch lost to a broken connection is safely re-submitted:
+// sealed jobs are pure and idempotent.
+func (s *ClusterSession) RunBatch(kernel string, jobs []BatchInput) ([]BatchResult, error) {
+	s.mu.Lock()
+	key := s.dataKey
+	s.mu.Unlock()
+	if key == nil {
+		return nil, fmt.Errorf("remote: cluster session not attested")
+	}
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	req := BatchRequest{Kernel: kernel, Jobs: make([]BatchJob, len(jobs))}
+	for i, j := range jobs {
+		sealedIn, err := cryptoutil.Seal(key, j.Input, []byte("job-input"))
+		if err != nil {
+			return nil, err
+		}
+		req.Jobs[i] = BatchJob{Params: j.Params, SealedInput: sealedIn}
+	}
+	var resp BatchResponse
+	if err := s.call("Cluster.RunBatch", req, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(jobs) {
+		return nil, fmt.Errorf("remote: cluster returned %d results for %d jobs", len(resp.Results), len(jobs))
+	}
+	results := make([]BatchResult, len(jobs))
+	for i, r := range resp.Results {
+		if r.Error != "" {
+			results[i].Err = errors.New(r.Error)
+			continue
+		}
+		out, err := cryptoutil.Open(key, r.SealedOutput, []byte("job-output"))
+		if err != nil {
+			results[i].Err = fmt.Errorf("remote: sealed output rejected: %w", err)
+			continue
+		}
+		results[i].Output = out
+	}
+	return results, nil
 }
 
 // Stats fetches the cluster's per-device counters.

@@ -1,0 +1,105 @@
+package rpc
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// silentServer accepts connections and reads frames but never answers —
+// the pathological peer that made every timed-out call leak one abandoned
+// ID for the life of the client.
+func silentServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				buf := make([]byte, 4096)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func (c *Client) abandonedSize() (int, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.abandoned), len(c.abandonedQ)
+}
+
+// TestAbandonedIDsBoundedAgainstSilentServer is the leak regression test:
+// N calls timing out against a server that never replies must leave at
+// most maxAbandoned entries behind, not N. Before the fix the abandoned
+// map grew by one ID per timeout, forever.
+func TestAbandonedIDsBoundedAgainstSilentServer(t *testing.T) {
+	addr := silentServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetTimeout(time.Millisecond)
+
+	const n = maxAbandoned + 200
+	for i := 0; i < n; i++ {
+		if err := c.Call("void", struct{}{}, nil); !errors.Is(err, ErrTimeout) {
+			t.Fatalf("call %d: err = %v, want ErrTimeout", i, err)
+		}
+	}
+	mapLen, qLen := c.abandonedSize()
+	if mapLen > maxAbandoned {
+		t.Errorf("abandoned map holds %d IDs after %d timeouts, want <= %d", mapLen, n, maxAbandoned)
+	}
+	if qLen > 4*maxAbandoned {
+		t.Errorf("abandoned FIFO holds %d entries, want <= %d", qLen, 4*maxAbandoned)
+	}
+	// The oldest IDs were evicted, the newest retained.
+	c.mu.Lock()
+	_, oldestKept := c.abandoned[1]
+	_, newestKept := c.abandoned[n]
+	c.mu.Unlock()
+	if oldestKept {
+		t.Error("oldest abandoned ID still tracked; eviction is not FIFO")
+	}
+	if !newestKept {
+		t.Error("newest abandoned ID was evicted")
+	}
+}
+
+// TestAbandonedSetClearedOnFatal: a dead client must not pin its abandoned
+// IDs — fatal() clears the set since the read loop will never consult it
+// again.
+func TestAbandonedSetClearedOnFatal(t *testing.T) {
+	addr := silentServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetTimeout(time.Millisecond)
+	for i := 0; i < 32; i++ {
+		c.Call("void", struct{}{}, nil)
+	}
+	if mapLen, _ := c.abandonedSize(); mapLen == 0 {
+		t.Fatal("test needs a populated abandoned set")
+	}
+	c.Close()
+	if mapLen, qLen := c.abandonedSize(); mapLen != 0 || qLen != 0 {
+		t.Errorf("abandoned set survived client death: map %d, queue %d", mapLen, qLen)
+	}
+}

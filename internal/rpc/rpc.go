@@ -20,6 +20,7 @@ package rpc
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -101,25 +102,42 @@ type Response struct {
 	Result json.RawMessage `json:"result,omitempty"`
 }
 
+// wbufPool recycles the scratch buffers writeFrame encodes into. Buffers
+// that ballooned past a few chunks (a bitstream upload, say) are dropped
+// rather than pooled, so one huge frame does not pin 64 MiB for the life
+// of the process.
+var wbufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledWriteBuf = 4 * frameChunk
+
 // writeFrame sends one length-prefixed JSON value and returns the frame
-// size on the wire (header + body).
+// size on the wire (header + body). The encode scratch comes from a
+// sync.Pool, so steady-state framing does not allocate a fresh body
+// buffer per message.
 func writeFrame(w io.Writer, v any) (int, error) {
-	body, err := json.Marshal(v)
-	if err != nil {
+	buf := wbufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer func() {
+		if buf.Cap() <= maxPooledWriteBuf {
+			wbufPool.Put(buf)
+		}
+	}()
+	buf.Write([]byte{0, 0, 0, 0}) // length-prefix placeholder, patched below
+	enc := json.NewEncoder(buf)
+	if err := enc.Encode(v); err != nil {
 		return 0, fmt.Errorf("rpc: encode: %w", err)
 	}
-	if len(body) > MaxFrame {
+	frame := buf.Bytes()
+	frame = frame[:len(frame)-1] // drop Encode's trailing newline
+	body := len(frame) - 4
+	if body > MaxFrame {
 		return 0, ErrFrameTooLarge
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
+	binary.BigEndian.PutUint32(frame[:4], uint32(body))
+	if _, err := w.Write(frame); err != nil {
 		return 0, err
 	}
-	if _, err := w.Write(body); err != nil {
-		return 0, err
-	}
-	return 4 + len(body), nil
+	return len(frame), nil
 }
 
 // frameChunk bounds how much readRawFrame allocates up front. The length
@@ -128,8 +146,30 @@ func writeFrame(w io.Writer, v any) (int, error) {
 // the bytes actually received, never with the bytes merely promised.
 const frameChunk = 256 << 10
 
-// readRawFrame receives one length-prefixed body. Any error here means the
-// stream position is no longer trustworthy.
+// frameBuf is one pooled read buffer, sized to a chunk. The pool keeps the
+// per-frame body allocation off the hot receive paths (client readLoop,
+// server serveConn) for every frame that fits a chunk — in this codebase
+// that is everything but a bitstream upload.
+type frameBuf struct {
+	data []byte
+}
+
+var frameBufPool = sync.Pool{
+	New: func() any { return &frameBuf{data: make([]byte, frameChunk)} },
+}
+
+// releaseFrame returns a pooled read buffer. Nil is fine (large frames and
+// error paths carry no pooled buffer). After the call, any byte slice that
+// aliased the frame body — including json.RawMessage fields decoded from
+// it — is invalid.
+func releaseFrame(fb *frameBuf) {
+	if fb != nil {
+		frameBufPool.Put(fb)
+	}
+}
+
+// readRawFrame receives one length-prefixed body into a fresh allocation.
+// Any error here means the stream position is no longer trustworthy.
 func readRawFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -146,7 +186,38 @@ func readRawFrame(r io.Reader) ([]byte, error) {
 		}
 		return body, nil
 	}
-	// Large frame: grow the buffer (doubling, capped at n) as bytes arrive.
+	return readLargeBody(r, n)
+}
+
+// readPooledFrame is readRawFrame with a recycled body buffer for frames
+// that fit one chunk. The returned frameBuf (nil for large frames) must be
+// handed back via releaseFrame once nothing aliases the body any more.
+func readPooledFrame(r io.Reader) ([]byte, *frameBuf, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, nil, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n > MaxFrame {
+		return nil, nil, ErrFrameTooLarge
+	}
+	if n <= frameChunk {
+		fb := frameBufPool.Get().(*frameBuf)
+		body := fb.data[:n]
+		if _, err := io.ReadFull(r, body); err != nil {
+			releaseFrame(fb)
+			return nil, nil, err
+		}
+		return body, fb, nil
+	}
+	body, err := readLargeBody(r, n)
+	return body, nil, err
+}
+
+// readLargeBody grows the buffer (doubling, capped at n) as bytes arrive.
+// The length prefix is attacker-controlled, so allocation must track the
+// bytes actually received, never the bytes merely promised.
+func readLargeBody(r io.Reader, n int) ([]byte, error) {
 	body := make([]byte, 0, frameChunk)
 	for len(body) < n {
 		want := n - len(body)
@@ -184,6 +255,11 @@ func readFrame(r io.Reader, v any) error {
 }
 
 // Handler serves one method: decode params, do work, return a result.
+//
+// Aliasing rule: params points into a pooled frame buffer that is recycled
+// the moment the handler returns, so a handler must not retain params (or
+// any subslice) past its return. Handlers built with Typed always satisfy
+// this — json.Unmarshal copies what it keeps.
 type Handler func(params json.RawMessage) (any, error)
 
 // Server dispatches requests to registered handlers. Every request runs on
@@ -286,19 +362,23 @@ func (s *Server) serveConn(conn net.Conn) {
 	var wmu sync.Mutex // serialises response frames from concurrent handlers
 	sem := make(chan struct{}, maxInFlightPerConn)
 	for {
-		body, err := readRawFrame(br)
+		body, fb, err := readPooledFrame(br)
 		if err != nil {
 			return
 		}
 		mSrvRxBytes.Add(uint64(4 + len(body)))
 		var req Request
 		if err := json.Unmarshal(body, &req); err != nil {
+			releaseFrame(fb)
 			return
 		}
 		sem <- struct{}{}
 		handlers.Add(1)
 		mSrvInflight.Add(1)
-		go func(req Request) {
+		// req.Params aliases the pooled frame body, so the handler
+		// goroutine owns fb and recycles it once dispatch has returned
+		// (handlers must not retain params — see Handler).
+		go func(req Request, fb *frameBuf) {
 			defer func() {
 				mSrvInflight.Add(-1)
 				<-sem
@@ -307,6 +387,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			mSrvRequests.Inc()
 			start := time.Now()
 			resp := s.dispatch(req)
+			releaseFrame(fb) // dispatch returned; nothing aliases the body now
 			mSrvHandle.Since(start)
 			if resp.Error != "" {
 				mSrvErrors.Inc()
@@ -324,7 +405,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			} else {
 				mSrvTxBytes.Add(uint64(nw))
 			}
-		}(req)
+		}(req, fb)
 	}
 }
 
@@ -369,24 +450,42 @@ func (s *Server) Close() error {
 //
 // A timed-out call (see SetTimeout) is abandoned, not fatal: its ID moves
 // to an abandoned set and the late reply, if any, is discarded on arrival.
-// Only genuine stream desync — a read failure, an undecodable frame, or a
-// response ID matching neither a pending nor an abandoned call — breaks
-// the client; then every pending and subsequent Call fails fast with
-// ErrBroken and the caller re-dials.
+// The set is bounded (maxAbandoned, oldest evicted first) and cleared when
+// the client dies, so a silent server cannot grow it without limit — one
+// abandoned ID per timed-out call, forever, was exactly the slow leak this
+// bound fixes. Only genuine stream desync — a read failure, an undecodable
+// frame, or a response ID matching neither a pending nor an abandoned call
+// — breaks the client; then every pending and subsequent Call fails fast
+// with ErrBroken and the caller re-dials.
 type Client struct {
 	conn net.Conn
 
 	wmu sync.Mutex // serialises request frames
 	bw  *bufio.Writer
 
-	mu        sync.Mutex
-	pending   map[uint64]chan Response
-	abandoned map[uint64]struct{}
-	next      uint64
-	timeout   time.Duration
-	err       error // sticky: first fatal error (ErrBroken... or ErrClosed)
-	closed    bool
+	mu         sync.Mutex
+	pending    map[uint64]chan inbound
+	abandoned  map[uint64]struct{}
+	abandonedQ []uint64 // FIFO of abandoned IDs, oldest first (may hold stale entries)
+	next       uint64
+	timeout    time.Duration
+	err        error // sticky: first fatal error (ErrBroken... or ErrClosed)
+	closed     bool
 }
+
+// inbound is one response routed from readLoop to its caller. fb is the
+// pooled frame buffer the Response's Result aliases; the receiver recycles
+// it after decoding.
+type inbound struct {
+	resp Response
+	fb   *frameBuf
+}
+
+// maxAbandoned caps the abandoned-ID set. An eviction can in principle
+// break the client later (the evicted ID's reply finally arrives and
+// matches nothing), but a peer that answers a call after 1024 further
+// calls have timed out is indistinguishable from a desynced one anyway.
+const maxAbandoned = 1024
 
 // SetTimeout bounds how long every subsequent Call waits for its response;
 // zero restores blocking behaviour. Unlike a socket deadline, expiry
@@ -406,7 +505,7 @@ func Dial(addr string) (*Client, error) {
 	c := &Client{
 		conn:      conn,
 		bw:        bufio.NewWriter(conn),
-		pending:   make(map[uint64]chan Response),
+		pending:   make(map[uint64]chan inbound),
 		abandoned: make(map[uint64]struct{}),
 	}
 	go c.readLoop()
@@ -419,7 +518,7 @@ func Dial(addr string) (*Client, error) {
 func (c *Client) readLoop() {
 	br := bufio.NewReader(c.conn)
 	for {
-		body, err := readRawFrame(br)
+		body, fb, err := readPooledFrame(br)
 		if err != nil {
 			c.fatal(fmt.Errorf("%w: read: %w", ErrBroken, err))
 			return
@@ -427,6 +526,7 @@ func (c *Client) readLoop() {
 		mCliRxBytes.Add(uint64(4 + len(body)))
 		var resp Response
 		if err := json.Unmarshal(body, &resp); err != nil {
+			releaseFrame(fb)
 			// The frame cannot be attributed to any call; its owner would
 			// hang forever if we dropped it silently.
 			c.fatal(fmt.Errorf("%w: decode response: %w", ErrBroken, err))
@@ -436,15 +536,19 @@ func (c *Client) readLoop() {
 		if ch, ok := c.pending[resp.ID]; ok {
 			delete(c.pending, resp.ID)
 			c.mu.Unlock()
-			ch <- resp // buffered; the caller may have raced to timeout
+			// Buffered; the caller may have raced to timeout but always
+			// collects a delivered response, and recycles fb after decoding.
+			ch <- inbound{resp: resp, fb: fb}
 			continue
 		}
 		if _, ok := c.abandoned[resp.ID]; ok {
 			delete(c.abandoned, resp.ID)
 			c.mu.Unlock()
+			releaseFrame(fb)
 			continue
 		}
 		c.mu.Unlock()
+		releaseFrame(fb)
 		c.fatal(fmt.Errorf("%w: response id %d matches no call", ErrBroken, resp.ID))
 		return
 	}
@@ -464,6 +568,12 @@ func (c *Client) fatal(err error) {
 		delete(c.pending, id)
 		close(ch)
 	}
+	// The read loop is done consulting the abandoned set once the client is
+	// fatal, so drop it — otherwise IDs abandoned before the death would
+	// linger for the life of the (unusable but maybe still referenced)
+	// client.
+	clear(c.abandoned)
+	c.abandonedQ = nil
 	c.mu.Unlock()
 	c.conn.Close()
 }
@@ -498,7 +608,7 @@ func (c *Client) Call(method string, params any, result any) error {
 	}
 	c.next++
 	id := c.next
-	ch := make(chan Response, 1)
+	ch := make(chan inbound, 1)
 	c.pending[id] = ch
 	timeout := c.timeout
 	c.mu.Unlock()
@@ -534,16 +644,18 @@ func (c *Client) Call(method string, params any, result any) error {
 		expired = timer.C
 	}
 	select {
-	case resp, ok := <-ch:
+	case in, ok := <-ch:
 		if !ok {
 			return c.lastErr()
 		}
-		return decodeResult(resp, result)
+		err := decodeResult(in.resp, result)
+		releaseFrame(in.fb)
+		return err
 	case <-expired:
 		c.mu.Lock()
 		if _, still := c.pending[id]; still {
 			delete(c.pending, id)
-			c.abandoned[id] = struct{}{}
+			c.abandon(id)
 			c.mu.Unlock()
 			mCliTimeouts.Inc()
 			return fmt.Errorf("%w: %s after %v", ErrTimeout, method, timeout)
@@ -551,11 +663,39 @@ func (c *Client) Call(method string, params any, result any) error {
 		c.mu.Unlock()
 		// The response raced in (or the client broke) just as the timer
 		// fired; the channel resolves immediately either way.
-		resp, ok := <-ch
+		in, ok := <-ch
 		if !ok {
 			return c.lastErr()
 		}
-		return decodeResult(resp, result)
+		err := decodeResult(in.resp, result)
+		releaseFrame(in.fb)
+		return err
+	}
+}
+
+// abandon records a timed-out call ID, evicting the oldest entries past
+// maxAbandoned so a silent server leaks a bounded set, not one ID per
+// timeout forever. Caller holds c.mu.
+func (c *Client) abandon(id uint64) {
+	c.abandoned[id] = struct{}{}
+	c.abandonedQ = append(c.abandonedQ, id)
+	for len(c.abandoned) > maxAbandoned && len(c.abandonedQ) > 0 {
+		old := c.abandonedQ[0]
+		c.abandonedQ = c.abandonedQ[1:]
+		delete(c.abandoned, old)
+	}
+	// The queue may accumulate stale entries for IDs whose late replies did
+	// arrive (readLoop deletes from the map only); compact it before the
+	// slice — and the dead capacity behind its sliced-off head — outgrows
+	// the bound the map honours.
+	if len(c.abandonedQ) > 4*maxAbandoned {
+		kept := make([]uint64, 0, len(c.abandoned))
+		for _, old := range c.abandonedQ {
+			if _, ok := c.abandoned[old]; ok {
+				kept = append(kept, old)
+			}
+		}
+		c.abandonedQ = kept
 	}
 }
 

@@ -1,0 +1,212 @@
+package sched
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"salus/internal/accel"
+	"salus/internal/core"
+	"salus/internal/cryptoutil"
+)
+
+// TestSubmitBatchMatchesReference: a batch rides to one device as a unit
+// and every future resolves with the kernel's reference output, in input
+// order.
+func TestSubmitBatchMatchesReference(t *testing.T) {
+	systems, _ := newPool(t, 2, accel.Conv{})
+	s := newScheduler(t, systems)
+
+	ws := make([]accel.Workload, 17)
+	for i := range ws {
+		ws[i] = accel.GenConv(4+i%4, 4, 1, int64(500+i))
+	}
+	futs := s.SubmitBatch(ws)
+	if len(futs) != len(ws) {
+		t.Fatalf("%d futures for %d workloads", len(futs), len(ws))
+	}
+	for i, f := range futs {
+		out, err := f.Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		want, _ := ws[i].Kernel.Compute(ws[i].Params, ws[i].Input)
+		if !bytes.Equal(out, want) {
+			t.Errorf("job %d output diverges", i)
+		}
+	}
+}
+
+// TestSubmitBatchGroupsByKernel: a mixed-kernel batch splits into one
+// batch per kernel, each routed to a device deploying it; a nil-kernel
+// entry fails alone.
+func TestSubmitBatchGroupsByKernel(t *testing.T) {
+	convs, _ := newPool(t, 1, accel.Conv{})
+	affines, _ := newPool(t, 1, accel.Affine{})
+	s := newScheduler(t, append(convs, affines...))
+
+	wConv := accel.GenConv(4, 4, 1, 1)
+	wAffine, _ := accel.TestWorkload("Affine", 2)
+	ws := []accel.Workload{wConv, {Kernel: nil}, wAffine, wConv}
+	futs := s.SubmitBatch(ws)
+
+	if _, err := futs[1].Wait(); err == nil {
+		t.Error("nil-kernel entry did not fail")
+	}
+	for _, i := range []int{0, 2, 3} {
+		out, err := futs[i].Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		want, _ := ws[i].Kernel.Compute(ws[i].Params, ws[i].Input)
+		if !bytes.Equal(out, want) {
+			t.Errorf("job %d output diverges", i)
+		}
+	}
+}
+
+// TestSubmitSealedBatchRoundTrip: the remote data-owner path, batched —
+// inputs sealed under the pool's shared key, outputs opened under it.
+func TestSubmitSealedBatchRoundTrip(t *testing.T) {
+	systems, key := newPool(t, 2, accel.Conv{})
+	s := newScheduler(t, systems)
+
+	const n = 9
+	jobs := make([]core.SealedJob, n)
+	want := make([][]byte, n)
+	for i := range jobs {
+		w := accel.GenConv(4, 4, 1, int64(60+i))
+		want[i], _ = w.Kernel.Compute(w.Params, w.Input)
+		sealed, err := cryptoutil.Seal(key, w.Input, []byte("job-input"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = core.SealedJob{Params: w.Params, Input: sealed}
+	}
+	futs := s.SubmitSealedBatch("Conv", jobs)
+	for i, f := range futs {
+		sealedOut, err := f.Wait()
+		if err != nil {
+			t.Fatalf("sealed job %d: %v", i, err)
+		}
+		out, err := cryptoutil.Open(key, sealedOut, []byte("job-output"))
+		if err != nil {
+			t.Fatalf("sealed job %d output does not open: %v", i, err)
+		}
+		if !bytes.Equal(out, want[i]) {
+			t.Errorf("sealed job %d output diverges", i)
+		}
+	}
+}
+
+// TestSubmitBatchRedispatchesOnDeviceFault: a batch landing on a broken
+// device is retried intact on a healthy one; every job still succeeds.
+func TestSubmitBatchRedispatchesOnDeviceFault(t *testing.T) {
+	systems, _, inj := newFaultyPool(t, 2, 0)
+	s := newScheduler(t, systems)
+	inj.Break()
+
+	ws := make([]accel.Workload, 8)
+	for i := range ws {
+		ws[i] = accel.GenConv(4, 4, 1, int64(i))
+	}
+	futs := s.SubmitBatch(ws)
+	for i, f := range futs {
+		out, err := f.Wait()
+		if err != nil {
+			t.Fatalf("job %d did not survive the faulty device: %v", i, err)
+		}
+		want, _ := ws[i].Kernel.Compute(ws[i].Params, ws[i].Input)
+		if !bytes.Equal(out, want) {
+			t.Errorf("job %d output diverges after redispatch", i)
+		}
+	}
+}
+
+// TestSubmitAfterCloseIsDeterministic is the regression test for the
+// close/submit race: Submit on a closed scheduler must resolve every
+// future with the ErrSchedulerClosed sentinel — deterministically, not a
+// hang, not a panic, not a generic string.
+func TestSubmitAfterCloseIsDeterministic(t *testing.T) {
+	systems, _ := newPool(t, 1, accel.Conv{})
+	s := New(Config{})
+	if err := s.Register(systems[0]); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	if _, err := s.Submit(accel.GenConv(4, 4, 1, 1)).Wait(); !errors.Is(err, ErrSchedulerClosed) {
+		t.Fatalf("Submit after Close: got %v, want ErrSchedulerClosed", err)
+	}
+	for i, f := range s.SubmitBatch(convWorkloads(3)) {
+		if _, err := f.Wait(); !errors.Is(err, ErrSchedulerClosed) {
+			t.Fatalf("batched job %d after Close: got %v, want ErrSchedulerClosed", i, err)
+		}
+	}
+	if err := s.Register(systems[0]); !errors.Is(err, ErrSchedulerClosed) {
+		t.Fatalf("Register after Close: got %v, want ErrSchedulerClosed", err)
+	}
+	if err := s.Drain(systems[0].Device.DNA(), 0); !errors.Is(err, ErrSchedulerClosed) {
+		t.Fatalf("Drain after Close: got %v, want ErrSchedulerClosed", err)
+	}
+}
+
+func convWorkloads(n int) []accel.Workload {
+	ws := make([]accel.Workload, n)
+	for i := range ws {
+		ws[i] = accel.GenConv(4, 4, 1, int64(i))
+	}
+	return ws
+}
+
+// TestCloseSubmitRace hammers Submit and SubmitBatch from many goroutines
+// while Close runs concurrently. Run under -race, this pins the invariant
+// the senders-WaitGroup discipline provides: no send on a closed channel,
+// no deadlock, and every single future resolves — with a result or with
+// ErrSchedulerClosed, never silence.
+func TestCloseSubmitRace(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		systems, _ := newPool(t, 2, accel.Conv{})
+		s := New(Config{})
+		for _, sys := range systems {
+			if err := s.Register(sys); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		var wg sync.WaitGroup
+		futs := make(chan *Future, 256)
+		start := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 4; i++ {
+					futs <- s.Submit(accel.GenConv(4, 4, 1, int64(g*10+i)))
+					for _, f := range s.SubmitBatch(convWorkloads(3)) {
+						futs <- f
+					}
+				}
+			}(g)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			s.Close()
+		}()
+		close(start)
+		wg.Wait()
+		close(futs)
+
+		// Jobs accepted before Close still run to completion (Close drains
+		// the queues); jobs that lost the race resolve with the sentinel.
+		for f := range futs {
+			if _, err := f.Wait(); err != nil && !errors.Is(err, ErrSchedulerClosed) {
+				t.Fatalf("round %d: future resolved with unexpected error: %v", round, err)
+			}
+		}
+	}
+}

@@ -111,6 +111,11 @@ type Config struct {
 
 // Lifecycle errors.
 var (
+	// ErrSchedulerClosed is the deterministic post-Close verdict: any
+	// Submit/SubmitSealed/SubmitBatch racing or following Close resolves
+	// its futures with this error instead of ever touching a device queue.
+	// It is not retryable.
+	ErrSchedulerClosed = errors.New("sched: scheduler closed")
 	// ErrWaitTimeout is returned by Future.WaitTimeout when the deadline
 	// expires first. The job is still running; the future remains valid.
 	ErrWaitTimeout = errors.New("sched: wait timed out")
@@ -207,6 +212,23 @@ type job struct {
 	// without touching the device. Because queues are FIFO, its resolution
 	// proves every job accepted before it has finished.
 	barrier bool
+
+	// Batch path (SubmitBatch/SubmitSealedBatch): the whole vector rides
+	// one queue entry to one device and one secure frame per chunk; futs
+	// resolves per job. ws or sealedJobs is populated to match sealed.
+	batch      bool
+	ws         []accel.Workload
+	sealedJobs []core.SealedJob
+	futs       []*Future
+}
+
+// size is the job's weight for queue-depth accounting: a batch loads a
+// device with all of its jobs at once.
+func (j *job) size() int64 {
+	if j.batch {
+		return int64(len(j.futs))
+	}
+	return 1
 }
 
 // device is one registered system plus its queue, counters, and health.
@@ -340,6 +362,10 @@ func (d *device) run(s *Scheduler) {
 			j.fut.resolve(nil, nil)
 			continue
 		}
+		if j.batch {
+			d.runBatch(s, j)
+			continue
+		}
 		serviceStart := time.Now()
 		mWait.Observe(serviceStart.Sub(j.enqueueAt))
 		var out []byte
@@ -374,6 +400,86 @@ func (d *device) run(s *Scheduler) {
 		mFailed.Inc()
 		mJob.Since(j.submitAt)
 		j.fut.resolve(nil, err)
+	}
+}
+
+// runBatch services one batched queue entry. A transport/session fault
+// covers the whole batch: the entry is re-dispatched intact to another
+// device (bounded by MaxRetries) or every future resolves with the fault.
+// Per-job verdicts inside a delivered batch resolve individually; a
+// retryable per-job fault is re-dispatched as a single job so one sick
+// result cannot force its siblings through another round trip.
+func (d *device) runBatch(s *Scheduler, j *job) {
+	n := int64(len(j.futs))
+	serviceStart := time.Now()
+	mWait.Observe(serviceStart.Sub(j.enqueueAt))
+	var results []core.BatchResult
+	var err error
+	if j.sealed {
+		results, err = d.sys.RunJobSealedBatch(j.kernel, j.sealedJobs)
+	} else {
+		results, err = d.sys.RunJobBatch(j.ws)
+	}
+	d.queued.Add(-n)
+	mQueueDepth.Add(-n)
+	mService.Since(serviceStart)
+
+	if err != nil {
+		d.failed.Add(uint64(n))
+		if Retryable(err) {
+			d.onFault(time.Now(), s.quarantineAfter, s.quarantineBase, s.quarantineMax, s.permanentAfter)
+			if j.attempts < s.maxRetries {
+				j.attempts++
+				d.retried.Add(uint64(n))
+				mRedispatched.Add(uint64(n))
+				s.redispatchBatch(j, d, err)
+				return
+			}
+		}
+		mFailed.Add(uint64(n))
+		for _, f := range j.futs {
+			mJob.Since(j.submitAt)
+			f.resolve(nil, err)
+		}
+		return
+	}
+
+	anySuccess := false
+	for i, r := range results {
+		if r.Err == nil {
+			anySuccess = true
+			d.completed.Add(1)
+			mCompleted.Inc()
+			mJob.Since(j.submitAt)
+			j.futs[i].resolve(r.Output, nil)
+			continue
+		}
+		d.failed.Add(1)
+		if Retryable(r.Err) && j.attempts < s.maxRetries {
+			sub := &job{
+				fut:      j.futs[i],
+				kernel:   j.kernel,
+				attempts: j.attempts + 1,
+				submitAt: j.submitAt,
+			}
+			if j.sealed {
+				sub.sealed = true
+				sub.params = j.sealedJobs[i].Params
+				sub.sealedInput = j.sealedJobs[i].Input
+			} else {
+				sub.w = j.ws[i]
+			}
+			d.retried.Add(1)
+			mRedispatched.Inc()
+			s.redispatch(sub, d, r.Err)
+			continue
+		}
+		mFailed.Inc()
+		mJob.Since(j.submitAt)
+		j.futs[i].resolve(nil, r.Err)
+	}
+	if anySuccess {
+		d.onSuccess()
 	}
 }
 
@@ -444,7 +550,7 @@ func (s *Scheduler) Register(sys *core.System) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return fmt.Errorf("sched: scheduler closed")
+		return ErrSchedulerClosed
 	}
 	d := &device{sys: sys, jobs: make(chan *job, s.queueDepth)}
 	s.devices = append(s.devices, d)
@@ -495,7 +601,7 @@ func (s *Scheduler) Drain(dna fpga.DNA, timeout time.Duration) error {
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
-		return fmt.Errorf("sched: scheduler closed")
+		return ErrSchedulerClosed
 	}
 	d := s.findDevice(dna)
 	if d == nil {
@@ -515,7 +621,7 @@ func (s *Scheduler) Drain(dna fpga.DNA, timeout time.Duration) error {
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
-		return fmt.Errorf("sched: scheduler closed")
+		return ErrSchedulerClosed
 	}
 	d.queued.Add(1)
 	mQueueDepth.Add(1)
@@ -566,7 +672,7 @@ func (s *Scheduler) Remove(dna fpga.DNA, timeout time.Duration) (*core.System, e
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("sched: scheduler closed")
+		return nil, ErrSchedulerClosed
 	}
 	var d *device
 	for i, dd := range s.devices {
@@ -633,11 +739,11 @@ func (s *Scheduler) pick(kernelName string, exclude *device) *device {
 // counter is bumped and the caller is registered on the device's sender
 // group, so Close cannot close the queue while the send is still pending.
 // The blocking send itself is the caller's, outside any scheduler lock.
-func (s *Scheduler) route(kernelName string, exclude *device) (*device, error) {
+func (s *Scheduler) route(kernelName string, exclude *device, size int64) (*device, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
-		return nil, fmt.Errorf("sched: scheduler closed")
+		return nil, ErrSchedulerClosed
 	}
 	d := s.pick(kernelName, exclude)
 	if d == nil && exclude != nil {
@@ -648,8 +754,8 @@ func (s *Scheduler) route(kernelName string, exclude *device) (*device, error) {
 	if d == nil {
 		return nil, fmt.Errorf("sched: no registered device runs kernel %q", kernelName)
 	}
-	d.queued.Add(1)
-	mQueueDepth.Add(1)
+	d.queued.Add(size)
+	mQueueDepth.Add(size)
 	d.senders.Add(1)
 	return d, nil
 }
@@ -658,7 +764,7 @@ func (s *Scheduler) submit(j *job) *Future {
 	j.fut = &Future{done: make(chan struct{})}
 	j.submitAt = time.Now()
 	mSubmitted.Inc()
-	d, err := s.route(j.kernel, nil)
+	d, err := s.route(j.kernel, nil, 1)
 	if err != nil {
 		mFailed.Inc()
 		return errFuture(err)
@@ -669,16 +775,55 @@ func (s *Scheduler) submit(j *job) *Future {
 	return j.fut
 }
 
+// submitBatch routes one batch entry; on a routing failure (closed
+// scheduler, no device for the kernel) every future resolves with the
+// error — deterministically, never touching a device queue.
+func (s *Scheduler) submitBatch(j *job) {
+	j.submitAt = time.Now()
+	n := int64(len(j.futs))
+	mSubmitted.Add(uint64(n))
+	d, err := s.route(j.kernel, nil, n)
+	if err != nil {
+		mFailed.Add(uint64(n))
+		for _, f := range j.futs {
+			f.resolve(nil, err)
+		}
+		return
+	}
+	j.enqueueAt = time.Now()
+	d.jobs <- j
+	d.senders.Done()
+}
+
 // redispatch retries a faulted job on another device. Called from worker
 // goroutines, so the send runs on its own goroutine — a worker must never
 // block on a sibling's full queue (two workers doing so to each other
 // would deadlock the pool). Dead ends resolve the future with the fault.
 func (s *Scheduler) redispatch(j *job, from *device, cause error) {
-	d, err := s.route(j.kernel, from)
+	d, err := s.route(j.kernel, from, 1)
 	if err != nil {
 		mFailed.Inc()
 		mJob.Since(j.submitAt)
 		j.fut.resolve(nil, fmt.Errorf("sched: retry %d dead-ended (%v): %w", j.attempts, err, cause))
+		return
+	}
+	j.enqueueAt = time.Now()
+	go func() {
+		d.jobs <- j
+		d.senders.Done()
+	}()
+}
+
+// redispatchBatch retries a transport-faulted batch intact on another
+// device, under the same never-block-a-worker discipline as redispatch.
+func (s *Scheduler) redispatchBatch(j *job, from *device, cause error) {
+	d, err := s.route(j.kernel, from, j.size())
+	if err != nil {
+		mFailed.Add(uint64(len(j.futs)))
+		for _, f := range j.futs {
+			mJob.Since(j.submitAt)
+			f.resolve(nil, fmt.Errorf("sched: retry %d dead-ended (%v): %w", j.attempts, err, cause))
+		}
 		return
 	}
 	j.enqueueAt = time.Now()
@@ -707,6 +852,67 @@ func (s *Scheduler) SubmitSealed(kernelName string, params [4]uint64, sealedInpu
 		params:      params,
 		sealedInput: sealedInput,
 	})
+}
+
+// SubmitBatch queues a batch of plaintext workloads as a first-class unit:
+// jobs sharing a kernel ride to one device together and execute through
+// core.RunJobBatch — one sealed register frame per chunk, one fabric wait
+// per chunk, pipelined DMA — instead of paying per-job round trips. The
+// returned futures are index-aligned with ws and each resolves exactly
+// once. Workloads with different kernels are grouped into one batch per
+// kernel.
+func (s *Scheduler) SubmitBatch(ws []accel.Workload) []*Future {
+	futs := make([]*Future, len(ws))
+	groups := make(map[string][]int)
+	var order []string
+	for i, w := range ws {
+		if w.Kernel == nil {
+			futs[i] = errFuture(fmt.Errorf("sched: workload has no kernel"))
+			continue
+		}
+		name := w.Kernel.Name()
+		if _, ok := groups[name]; !ok {
+			order = append(order, name)
+		}
+		groups[name] = append(groups[name], i)
+		futs[i] = &Future{done: make(chan struct{})}
+	}
+	for _, name := range order {
+		idxs := groups[name]
+		j := &job{
+			kernel: name,
+			batch:  true,
+			ws:     make([]accel.Workload, len(idxs)),
+			futs:   make([]*Future, len(idxs)),
+		}
+		for k, i := range idxs {
+			j.ws[k] = ws[i]
+			j.futs[k] = futs[i]
+		}
+		s.submitBatch(j)
+	}
+	return futs
+}
+
+// SubmitSealedBatch queues a batch of sealed jobs for one kernel (the
+// remote data-owner path, like System.RunJobSealedBatch). The returned
+// futures are index-aligned with jobs.
+func (s *Scheduler) SubmitSealedBatch(kernelName string, jobs []core.SealedJob) []*Future {
+	futs := make([]*Future, len(jobs))
+	for i := range futs {
+		futs[i] = &Future{done: make(chan struct{})}
+	}
+	if len(jobs) == 0 {
+		return futs
+	}
+	s.submitBatch(&job{
+		kernel:     kernelName,
+		batch:      true,
+		sealed:     true,
+		sealedJobs: append([]core.SealedJob(nil), jobs...),
+		futs:       futs,
+	})
+	return futs
 }
 
 // DeviceStats is one device's lifetime counters and health snapshot.

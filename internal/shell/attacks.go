@@ -123,7 +123,11 @@ func (a *ForgeAttestation) OnResponse(r []byte) []byte {
 	guessKey := make([]byte, siphash.KeySize)
 	forged := channel.AttestResponse{Value: resp.Value, DNA: resp.DNA}
 	forged.MAC = channel.AttestMACResp(guessKey, forged.Value, forged.DNA)
-	return forged.Encode()
+	out, err := forged.Encode()
+	if err != nil {
+		return r
+	}
+	return out
 }
 
 // SpoofDNA rewrites the DNA in attestation responses — the relocation
@@ -144,5 +148,9 @@ func (a SpoofDNA) OnResponse(r []byte) []byte {
 		return r
 	}
 	resp.DNA = a.Claim // MAC is left as-is: the attacker cannot recompute it
-	return resp.Encode()
+	out, err := resp.Encode()
+	if err != nil {
+		return r
+	}
+	return out
 }

@@ -50,7 +50,11 @@ func attest(t *testing.T, s *Shell, key []byte) []byte {
 	t.Helper()
 	req := channel.AttestRequest{Nonce: 7, DNA: string(dna)}
 	req.MAC = channel.AttestMACReq(key, req.Nonce, req.DNA)
-	resp, err := s.Transact(req.Encode())
+	enc, err := req.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.Transact(enc)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -172,6 +172,11 @@ type SMApp struct {
 	// AttestCL rotates the epoch immediately after attestation succeeds so
 	// no cross-board frame replay is possible on a live session.
 	sharedSecrets bool
+
+	// sealer caches the batched-channel cipher for the current Key_session
+	// epoch (guarded by mu, invalidated on rekey/redeploy) so the
+	// steady-state batch path is alloc-free.
+	sealer *channel.Sealer
 }
 
 // New loads the SM enclave on the host platform.
@@ -474,6 +479,7 @@ func (a *SMApp) DeployCL(encoded []byte) error {
 	a.ctr = cl.ctrInit
 	a.attested = false
 	a.sharedSecrets = fromCache
+	a.sealer = nil
 	return nil
 }
 
@@ -492,7 +498,11 @@ func (a *SMApp) AttestCL() error {
 	span := a.cfg.Clock.StartSpan()
 	req := channel.AttestRequest{Nonce: nonce, DNA: dna}
 	req.MAC = channel.AttestMACReq(a.keyAttest, req.Nonce, req.DNA)
-	respBytes, err := a.cfg.Shell.TransactPartition(a.cfg.Partition, req.Encode())
+	reqBytes, err := req.Encode()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCLAttestation, err)
+	}
+	respBytes, err := a.cfg.Shell.TransactPartition(a.cfg.Partition, reqBytes)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrCLAttestation, err)
 	}
@@ -588,6 +598,49 @@ func (a *SMApp) SecureReg(txn channel.RegTxn) (channel.RegResult, error) {
 	return res, nil
 }
 
+// SecureRegBatch forwards a whole register program over the Key_session
+// channel as a single sealed frame: one counter tick covers the entire
+// transaction vector, and the response MAC authenticates the result vector
+// and its ordering in one shot. Results are appended to dst (pass nil, or
+// a slice you own, to avoid aliasing the SMApp's scratch) and the returned
+// slice is valid until the caller mutates dst. The frame and decode
+// scratch are reused across calls, so the steady-state path allocates
+// nothing.
+func (a *SMApp) SecureRegBatch(txns []channel.RegTxn, dst []channel.RegResult) ([]channel.RegResult, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.attested {
+		return nil, ErrNotAttested
+	}
+	if a.sealer == nil {
+		s, err := channel.NewSealer(a.keySession)
+		if err != nil {
+			return nil, err
+		}
+		a.sealer = s
+	}
+	frame, err := a.sealer.SealRegBatchRequest(a.ctr, txns)
+	if err != nil {
+		return nil, err
+	}
+	respBytes, err := a.cfg.Shell.TransactPartition(a.cfg.Partition, frame)
+	if err != nil {
+		return nil, err
+	}
+	if msg, isErr := channel.DecodeError(respBytes); isErr {
+		return nil, fmt.Errorf("smapp: CL rejected secure batch frame: %s", msg)
+	}
+	res, err := a.sealer.OpenRegBatchResponse(a.ctr, respBytes, dst)
+	if err != nil {
+		return nil, fmt.Errorf("smapp: secure batch response rejected: %w", err)
+	}
+	if len(res)-len(dst) != len(txns) {
+		return nil, fmt.Errorf("smapp: secure batch response carries %d results for %d transactions", len(res)-len(dst), len(txns))
+	}
+	a.ctr++
+	return res, nil
+}
+
 // RekeySession rotates the register channel's Key_session and Ctr_session:
 // a fresh key and counter epoch, installed through the authenticated
 // channel itself. Rotation invalidates every frame an observer recorded
@@ -621,6 +674,7 @@ func (a *SMApp) RekeySession() error {
 	}
 	a.keySession = newKey
 	a.ctr = newCtr
+	a.sealer = nil // cached batch cipher belongs to the old epoch
 	mRekeys.Inc()
 	return nil
 }

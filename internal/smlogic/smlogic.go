@@ -177,6 +177,13 @@ type Logic struct {
 	mu      sync.Mutex
 	nextCtr uint64
 	accel   accel.Device
+
+	// Batched secure channel scratch (guarded by mu): the sealer caches the
+	// session key's cipher; the slices are reused across batches so the
+	// steady-state batch path allocates nothing.
+	sealer    *channel.Sealer
+	batchTxns []channel.RegTxn
+	batchRes  []channel.RegResult
 }
 
 // LogicID implements fpga.CL.
@@ -194,6 +201,8 @@ func (l *Logic) HandleTransaction(req []byte) ([]byte, error) {
 		return l.handleAttest(req), nil
 	case channel.MsgSecureReg:
 		return l.handleSecureReg(req), nil
+	case channel.MsgSecureRegBatch:
+		return l.handleSecureRegBatch(req), nil
 	case channel.MsgRekey:
 		return l.handleRekey(req), nil
 	case channel.MsgDirectReg:
@@ -221,7 +230,11 @@ func (l *Logic) handleAttest(req []byte) []byte {
 	}
 	resp := channel.AttestResponse{Value: r.Nonce + 1, DNA: string(l.dna)}
 	resp.MAC = channel.AttestMACResp(l.keyAttest, resp.Value, resp.DNA)
-	return resp.Encode()
+	out, err := resp.Encode()
+	if err != nil {
+		return channel.EncodeError("smlogic: encoding attestation response: " + err.Error())
+	}
+	return out
 }
 
 // handleSecureReg is the transparent register protection path: decrypt,
@@ -243,6 +256,51 @@ func (l *Logic) handleSecureReg(req []byte) []byte {
 	return frame
 }
 
+// handleSecureRegBatch executes a whole sealed register program — open the
+// transaction vector under the session key, run every transaction in the
+// authenticated order, and seal the result vector at the same counter. The
+// batch consumes exactly one counter tick: the single MAC already covers
+// the ordering and count of every transaction inside, so per-transaction
+// ticks would add replay surface, not remove it. Protected registers
+// (key/IV) are reachable here just as on the single-frame secure path —
+// that is what lets a fresh session epoch's key exchange ride the same
+// frame as the jobs it serves.
+func (l *Logic) handleSecureRegBatch(req []byte) []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	sealer, err := l.sessionSealer()
+	if err != nil {
+		return channel.EncodeError("smlogic: batch sealer: " + err.Error())
+	}
+	l.batchTxns, err = sealer.OpenRegBatchRequest(l.nextCtr, req, l.batchTxns)
+	if err != nil {
+		return channel.EncodeError("smlogic: secure batch frame rejected: " + err.Error())
+	}
+	l.batchRes = l.batchRes[:0]
+	for _, txn := range l.batchTxns {
+		l.batchRes = append(l.batchRes, l.execReg(txn))
+	}
+	frame, err := sealer.SealRegBatchResponse(l.nextCtr, l.batchRes)
+	if err != nil {
+		return channel.EncodeError("smlogic: sealing batch response failed")
+	}
+	l.nextCtr++
+	return frame
+}
+
+// sessionSealer returns the cached batch sealer for the current
+// Key_session epoch, rebuilding it after a rekey; callers hold l.mu.
+func (l *Logic) sessionSealer() (*channel.Sealer, error) {
+	if l.sealer == nil {
+		s, err := channel.NewSealer(l.keySession)
+		if err != nil {
+			return nil, err
+		}
+		l.sealer = s
+	}
+	return l.sealer, nil
+}
+
 // handleRekey rotates Key_session and Ctr_session on the SM enclave's
 // authenticated request: verify under the current key, acknowledge under
 // the current key, then switch — a fresh session epoch that also invalidates
@@ -260,6 +318,7 @@ func (l *Logic) handleRekey(req []byte) []byte {
 	}
 	l.keySession = append([]byte(nil), newKey...)
 	l.nextCtr = newCtr
+	l.sealer = nil // batch sealer caches the old key's cipher
 	return resp
 }
 
@@ -313,7 +372,11 @@ func (l *Logic) handleMemWrite(req []byte) []byte {
 	if err := l.accel.WriteMem(m.Addr, m.Data); err != nil {
 		return channel.EncodeError("smlogic: " + err.Error())
 	}
-	return channel.EncodeMemData(nil) // empty ack
+	ack, err := channel.EncodeMemData(nil) // empty ack
+	if err != nil {
+		return channel.EncodeError("smlogic: encoding DMA ack: " + err.Error())
+	}
+	return ack
 }
 
 func (l *Logic) handleMemRead(req []byte) []byte {
@@ -325,7 +388,11 @@ func (l *Logic) handleMemRead(req []byte) []byte {
 	if err != nil {
 		return channel.EncodeError("smlogic: " + err.Error())
 	}
-	return channel.EncodeMemData(data)
+	out, err := channel.EncodeMemData(data)
+	if err != nil {
+		return channel.EncodeError("smlogic: encoding DMA data: " + err.Error())
+	}
+	return out
 }
 
 // InjectSecrets writes the three secrets into an image's reserved cell in

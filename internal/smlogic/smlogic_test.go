@@ -47,6 +47,15 @@ func loadedCL(t testing.TB, keyAttest, keySession []byte, ctr uint64) fpga.CL {
 	return cl
 }
 
+// mustEnc unwraps the two-valued channel encoders for in-limit inputs.
+func mustEnc(t testing.TB, b []byte, err error) []byte {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
 func isError(t *testing.T, resp []byte, wantSubstr string) {
 	t.Helper()
 	msg, ok := channel.DecodeError(resp)
@@ -93,7 +102,8 @@ func TestAttestationSucceeds(t *testing.T) {
 
 	req := channel.AttestRequest{Nonce: 41, DNA: string(testDNA)}
 	req.MAC = channel.AttestMACReq(ka, req.Nonce, req.DNA)
-	resp, err := cl.HandleTransaction(req.Encode())
+	reqEnc, encErr := req.Encode()
+	resp, err := cl.HandleTransaction(mustEnc(t, reqEnc, encErr))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +127,8 @@ func TestAttestationWrongKeyFails(t *testing.T) {
 	wrong := cryptoutil.RandomKey(16)
 	req := channel.AttestRequest{Nonce: 1, DNA: string(testDNA)}
 	req.MAC = channel.AttestMACReq(wrong, req.Nonce, req.DNA)
-	resp, err := cl.HandleTransaction(req.Encode())
+	reqEnc, encErr := req.Encode()
+	resp, err := cl.HandleTransaction(mustEnc(t, reqEnc, encErr))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +142,8 @@ func TestAttestationWrongDNAFails(t *testing.T) {
 	cl := loadedCL(t, ka, cryptoutil.RandomKey(16), 0)
 	req := channel.AttestRequest{Nonce: 1, DNA: "B99999999"}
 	req.MAC = channel.AttestMACReq(ka, req.Nonce, req.DNA)
-	resp, err := cl.HandleTransaction(req.Encode())
+	reqEnc, encErr := req.Encode()
+	resp, err := cl.HandleTransaction(mustEnc(t, reqEnc, encErr))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +275,8 @@ func TestDirectRegisterBadRegister(t *testing.T) {
 func TestMemoryChannel(t *testing.T) {
 	cl := loadedCL(t, cryptoutil.RandomKey(16), cryptoutil.RandomKey(16), 0)
 	data := []byte("encrypted feature map")
-	resp, err := cl.HandleTransaction(channel.EncodeMemWrite(channel.MemWrite{Addr: 64, Data: data}))
+	wEnc, encErr := channel.EncodeMemWrite(channel.MemWrite{Addr: 64, Data: data})
+	resp, err := cl.HandleTransaction(mustEnc(t, wEnc, encErr))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,7 +390,8 @@ func TestFullJobThroughLogic(t *testing.T) {
 	secureWrite(accel.RegIV0, binary.BigEndian.Uint64(iv[8:16]))
 
 	// Bulk ciphertext over the direct path.
-	if _, err := cl.HandleTransaction(channel.EncodeMemWrite(channel.MemWrite{Addr: 0, Data: encIn})); err != nil {
+	inEnc, inErr := channel.EncodeMemWrite(channel.MemWrite{Addr: 0, Data: encIn})
+	if _, err := cl.HandleTransaction(mustEnc(t, inEnc, inErr)); err != nil {
 		t.Fatal(err)
 	}
 	outAddr := uint64(len(encIn) + 128)
@@ -485,7 +499,11 @@ func TestPropertyAttestationProtocol(t *testing.T) {
 	f := func(nonce uint64, wrongKey [16]byte) bool {
 		req := channel.AttestRequest{Nonce: nonce, DNA: string(testDNA)}
 		req.MAC = channel.AttestMACReq(ka, req.Nonce, req.DNA)
-		resp, err := cl.HandleTransaction(req.Encode())
+		reqEnc, err := req.Encode()
+		if err != nil {
+			return false
+		}
+		resp, err := cl.HandleTransaction(reqEnc)
 		if err != nil {
 			return false
 		}
@@ -499,7 +517,11 @@ func TestPropertyAttestationProtocol(t *testing.T) {
 		// The wrong key neither authenticates the request...
 		bad := channel.AttestRequest{Nonce: nonce, DNA: string(testDNA)}
 		bad.MAC = channel.AttestMACReq(wrongKey[:], bad.Nonce, bad.DNA)
-		badResp, err := cl.HandleTransaction(bad.Encode())
+		badEnc, err := bad.Encode()
+		if err != nil {
+			return false
+		}
+		badResp, err := cl.HandleTransaction(badEnc)
 		if err != nil {
 			return false
 		}

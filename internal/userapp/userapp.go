@@ -299,6 +299,16 @@ func (u *UserApp) SecureReg(txn channel.RegTxn) (channel.RegResult, error) {
 	return u.cfg.SM.SecureReg(txn)
 }
 
+// SecureRegBatch issues a whole register program over the SM-protected
+// channel as one sealed frame (one counter tick for the vector). Results
+// are appended to dst and are valid until the next batch call.
+func (u *UserApp) SecureRegBatch(txns []channel.RegTxn, dst []channel.RegResult) ([]channel.RegResult, error) {
+	if u.cfg.SM == nil {
+		return nil, fmt.Errorf("userapp: no SM application configured")
+	}
+	return u.cfg.SM.SecureRegBatch(txns, dst)
+}
+
 // Direct issues a raw transaction on the unprotected path straight to the
 // accelerator (bulk ciphertext traffic, §4.5).
 func (u *UserApp) Direct(req []byte) ([]byte, error) {
