@@ -6,7 +6,7 @@ GO ?= go
 COVER_PKGS = salus/internal/metrics salus/internal/sched salus/internal/fleet
 COVER_FLOOR = 75
 
-.PHONY: all build test vet race tier1 ci cover cover-check fmt-check bench bench-smoke bench-sched bench-sched-gate bench-degraded bench-fleet bench-metrics clean
+.PHONY: all build test vet race tier1 ci cover cover-check fmt-check bench bench-smoke bench-sched bench-sched-gate bench-overload bench-degraded bench-fleet bench-metrics clean
 
 all: build test
 
@@ -59,6 +59,7 @@ ci: fmt-check vet
 	$(GO) test -race ./...
 	$(MAKE) bench-metrics
 	$(MAKE) bench-sched-gate
+	$(MAKE) bench-overload
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -78,6 +79,13 @@ bench-sched: bench-sched-gate
 
 bench-sched-gate:
 	SALUS_BENCH_SMOKE=1 $(GO) test -run TestBatchedThroughputGate -v . | grep -E 'MB/s|ok|FAIL|PASS'
+
+# Overload survival gate: at >= 10x-capacity offered ClassBatch load the
+# pool must keep goodput >= 80% of calibrated capacity and hold the
+# critical-class p99 within 20% of uncontended plus one head-of-line
+# residual (see TestOverloadGate).
+bench-overload:
+	SALUS_BENCH_SMOKE=1 $(GO) test -run 'TestOverloadGate$$' -v . | grep -E 'capacity|overload|p99|ok|FAIL|PASS'
 
 # Degraded pool: 3 devices with one permanently broken vs 2 healthy.
 bench-degraded:

@@ -24,6 +24,7 @@ import (
 	"salus/internal/client"
 	"salus/internal/fpga"
 	"salus/internal/remote"
+	"salus/internal/sched"
 )
 
 func main() {
@@ -42,15 +43,30 @@ func main() {
 	kernel := flag.String("kernel", "Conv", "kernel the instance deployed")
 	jobs := flag.Int("jobs", 8, "cluster mode: number of sealed jobs")
 	batch := flag.Bool("batch", false, "cluster mode: submit all -jobs in one batched RPC frame instead of one call per job")
+	tenant := flag.String("tenant", "", "cluster mode: tenant name for gateway rate limiting")
+	class := flag.String("class", "", "cluster mode: priority class (batch, standard, critical)")
+	deadline := flag.Duration("deadline", 0, "cluster mode: per-job deadline; expired jobs are shed, never run late (0 disables)")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*expPath)
 	if err != nil {
 		log.Fatal(err)
 	}
+	var qos *remote.QoS
+	if *tenant != "" || *class != "" || *deadline > 0 {
+		c, ok := salusClass(*class)
+		if !ok {
+			log.Fatalf("unknown class %q (want batch, standard, or critical)", *class)
+		}
+		qos = &remote.QoS{Tenant: *tenant, Class: c, Deadline: *deadline}
+	}
+
 	if bytes.HasPrefix(bytes.TrimSpace(raw), []byte("[")) {
-		runCluster(raw, *instAddr, *kernel, *jobs, *batch)
+		runCluster(raw, *instAddr, *kernel, *jobs, *batch, qos)
 		return
+	}
+	if qos != nil {
+		log.Fatal("-tenant/-class/-deadline need a cluster gateway (salus-server -devices N)")
 	}
 
 	var exp client.Expectations
@@ -155,11 +171,16 @@ func runFleet(args []string) {
 	}
 }
 
+// salusClass maps the -class flag to a scheduling band.
+func salusClass(name string) (sched.Class, bool) {
+	return sched.ClassByName(name)
+}
+
 // runCluster attests a device pool and drives sealed jobs plus live stats
 // over one shared connection — concurrently one call per job, or (with
 // -batch) as a single batched RPC frame riding the cluster's batched
 // secure data path.
-func runCluster(raw []byte, addr, kernel string, jobs int, batch bool) {
+func runCluster(raw []byte, addr, kernel string, jobs int, batch bool, qos *remote.QoS) {
 	var exps []client.Expectations
 	if err := json.Unmarshal(raw, &exps); err != nil {
 		log.Fatal(err)
@@ -175,6 +196,10 @@ func runCluster(raw []byte, addr, kernel string, jobs int, batch bool) {
 		log.Fatalf("pool NOT trusted: %v", err)
 	}
 	fmt.Printf("all %d devices attested; shared data key provisioned\n", len(exps))
+	if qos != nil {
+		sess.SetQoS(*qos)
+		fmt.Printf("qos: tenant=%q class=%s deadline=%v\n", qos.Tenant, qos.Class, qos.Deadline)
+	}
 
 	if batch {
 		runClusterBatch(sess, kernel, jobs)

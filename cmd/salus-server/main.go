@@ -60,6 +60,12 @@ func main() {
 	minDevices := flag.Int("min-devices", 1, "cluster mode: floor the fleet may never shrink below")
 	maxDevices := flag.Int("max-devices", 0, "cluster mode: ceiling the fleet may never grow beyond (0 = unbounded)")
 	autoReplace := flag.Duration("auto-replace", 0, "cluster mode: scan interval for replacing written-off boards (0 disables)")
+	autoscale := flag.Duration("autoscale", 0, "cluster mode: queue-pressure sampling interval for autoscaling (0 disables)")
+	autoscaleHigh := flag.Float64("autoscale-high", 4, "cluster mode: mean queued jobs per device that triggers scale-up")
+	autoscaleLow := flag.Float64("autoscale-low", 0.5, "cluster mode: mean queued jobs per device that triggers scale-down")
+	tenantRate := flag.Float64("tenant-rate", 0, "cluster mode: sustained jobs/sec each tenant may submit (0 disables)")
+	tenantBurst := flag.Float64("tenant-burst", 0, "cluster mode: per-tenant burst depth (0 defaults to -tenant-rate)")
+	maxP99 := flag.Duration("max-p99", 0, "cluster mode: shed non-critical work when live p99 job latency exceeds this (0 disables)")
 	metricsEvery := flag.Duration("metrics-interval", 0, "dump the process metrics registry every interval (0 disables)")
 	flag.Parse()
 
@@ -140,7 +146,17 @@ func main() {
 			log.Fatal(err)
 		}
 		defer mgr.Close()
-		clSrv, systems, clBound, err := remote.ServeFleet(mgr, *devices, *instAddr)
+		var gwOpts []remote.GatewayOption
+		if *tenantRate > 0 || *maxP99 > 0 {
+			adm := remote.NewAdmission(remote.AdmissionConfig{
+				TenantRate:  *tenantRate,
+				TenantBurst: *tenantBurst,
+				MaxP99:      *maxP99,
+			})
+			gwOpts = append(gwOpts, remote.WithAdmission(adm))
+			fmt.Printf("admission control:   tenant-rate=%g/s burst=%g max-p99=%v\n", *tenantRate, *tenantBurst, *maxP99)
+		}
+		clSrv, systems, clBound, err := remote.ServeFleet(mgr, *devices, *instAddr, gwOpts...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -148,6 +164,14 @@ func main() {
 		if *autoReplace > 0 {
 			mgr.StartAutoReplace(*autoReplace)
 			fmt.Println("auto-replace every: ", *autoReplace)
+		}
+		if *autoscale > 0 {
+			mgr.StartAutoscale(fleet.AutoscaleConfig{
+				Interval:  *autoscale,
+				HighWater: *autoscaleHigh,
+				LowWater:  *autoscaleLow,
+			})
+			fmt.Printf("autoscale every:     %v (high=%g low=%g per device)\n", *autoscale, *autoscaleHigh, *autoscaleLow)
 		}
 		fmt.Println("fleet gateway:      ", clBound)
 		exps := make([]client.Expectations, len(systems))

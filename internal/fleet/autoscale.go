@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"sort"
+	"time"
+
+	"salus/internal/fpga"
+	"salus/internal/metrics"
+)
+
+// Autoscale metrics: one counter per direction, plus the last pressure
+// reading so dashboards can see how close the fleet runs to its thresholds.
+var (
+	mScaleUps   = metrics.Default().Counter("salus_fleet_autoscale_up_total")
+	mScaleDowns = metrics.Default().Counter("salus_fleet_autoscale_down_total")
+	mPressure   = metrics.Default().Gauge("salus_fleet_autoscale_pressure_x1000")
+)
+
+// AutoscaleConfig tunes autoscale-on-pressure. Pressure is the mean queue
+// depth per member (sum of sched per-device Queued over membership size) —
+// a direct backlog signal, unlike utilisation, which saturates at 1 and
+// cannot distinguish "busy" from "drowning".
+type AutoscaleConfig struct {
+	// Interval between pressure samples; zero selects one second.
+	Interval time.Duration
+	// HighWater: sustained pressure at or above this adds a board.
+	HighWater float64
+	// LowWater: sustained pressure at or below this removes one. Must be
+	// below HighWater; the gap is the hysteresis band that keeps a fleet
+	// hovering near one threshold from flapping.
+	LowWater float64
+	// SustainUp / SustainDown are how many consecutive samples must agree
+	// before acting; zero selects 3. Scale-up may justify a smaller value
+	// than scale-down — adding capacity late costs latency, removing it
+	// late costs only money.
+	SustainUp, SustainDown int
+}
+
+// pressure returns the mean queued entries per member, and feeds the gauge.
+func (m *Manager) pressure() float64 {
+	stats := m.sch.Stats()
+	if len(stats) == 0 {
+		return 0
+	}
+	var queued int
+	for _, ds := range stats {
+		queued += int(ds.Queued)
+	}
+	p := float64(queued) / float64(len(stats))
+	mPressure.Set(int64(p * 1000))
+	return p
+}
+
+// scaleDownVictim picks the member to decommission: quarantined boards
+// first, then the least-queued healthy board.
+func (m *Manager) scaleDownVictim() (fpga.DNA, bool) {
+	stats := m.sch.Stats()
+	if len(stats) == 0 {
+		return "", false
+	}
+	sort.SliceStable(stats, func(i, j int) bool {
+		qi, qj := stats[i].Quarantined || stats[i].Permanent, stats[j].Quarantined || stats[j].Permanent
+		if qi != qj {
+			return qi
+		}
+		return stats[i].Queued < stats[j].Queued
+	})
+	return stats[0].DNA, true
+}
+
+// autoscaleTick takes one pressure sample and acts when a streak completes.
+// Returns +1 / -1 / 0 for grew / shrank / held (tests drive this directly;
+// StartAutoscale drives it from a ticker).
+func (m *Manager) autoscaleTick(cfg *AutoscaleConfig, upStreak, downStreak *int) int {
+	p := m.pressure()
+	switch {
+	case p >= cfg.HighWater:
+		*upStreak++
+		*downStreak = 0
+	case p <= cfg.LowWater:
+		*downStreak++
+		*upStreak = 0
+	default:
+		*upStreak, *downStreak = 0, 0
+	}
+	if *upStreak >= cfg.SustainUp {
+		*upStreak, *downStreak = 0, 0
+		if _, err := m.Add(); err != nil {
+			return 0 // at MaxDevices or boot failed; retry next streak
+		}
+		mScaleUps.Inc()
+		return 1
+	}
+	if *downStreak >= cfg.SustainDown {
+		*upStreak, *downStreak = 0, 0
+		victim, ok := m.scaleDownVictim()
+		if !ok {
+			return 0
+		}
+		if _, err := m.Remove(victim); err != nil {
+			return 0 // at MinDevices; retry next streak
+		}
+		mScaleDowns.Inc()
+		return -1
+	}
+	return 0
+}
+
+// StartAutoscale samples queue pressure every cfg.Interval and grows or
+// shrinks the fleet when a sustained threshold crossing completes, within
+// the Min/MaxDevices bounds of the fleet config. Runs until Close.
+func (m *Manager) StartAutoscale(cfg AutoscaleConfig) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.SustainUp <= 0 {
+		cfg.SustainUp = 3
+	}
+	if cfg.SustainDown <= 0 {
+		cfg.SustainDown = 3
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		t := time.NewTicker(cfg.Interval)
+		defer t.Stop()
+		var upStreak, downStreak int
+		for {
+			select {
+			case <-m.stopCh:
+				return
+			case <-t.C:
+				m.autoscaleTick(&cfg, &upStreak, &downStreak)
+			}
+		}
+	}()
+}

@@ -58,6 +58,10 @@ type BatchJob struct {
 type BatchRequest struct {
 	Kernel string     `json:"kernel"`
 	Jobs   []BatchJob `json:"jobs"`
+	// QoS fields; see JobRequest. One contract covers the whole batch.
+	Tenant         string `json:"tenant,omitempty"`
+	Class          string `json:"class,omitempty"`
+	DeadlineMillis int64  `json:"deadline_ms,omitempty"`
 }
 
 // BatchJobResult is one job's outcome, index-aligned with the request.
@@ -100,13 +104,17 @@ type ClusterMetricsResponse struct {
 // Provision resumes from the first unfinished device; a replayed Provision
 // returns success without double-registering anything. Only *conflicting*
 // replays — a different nonce, a different key material — are refused.
-func ServeCluster(systems []*core.System, sch *sched.Scheduler, addr string) (*rpc.Server, string, error) {
+func ServeCluster(systems []*core.System, sch *sched.Scheduler, addr string, opts ...GatewayOption) (*rpc.Server, string, error) {
 	if len(systems) == 0 {
 		return nil, "", fmt.Errorf("remote: empty cluster")
 	}
+	var o gatewayOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	srv := rpc.NewServer()
 	handleClusterHandshake(srv, systems, sch.Register)
-	handleClusterServing(srv, sch)
+	handleClusterServing(srv, sch, o.admission)
 	bound, err := srv.Listen(addr)
 	if err != nil {
 		return nil, "", err
@@ -183,10 +191,35 @@ func handleClusterHandshake(srv *rpc.Server, systems []*core.System, register fu
 	}))
 }
 
+// submitOptions maps a request's wire QoS fields onto scheduler options.
+// An unknown class is a deliberate rejection, not a default.
+func submitOptions(class string, deadlineMillis int64) (sched.SubmitOptions, error) {
+	c, ok := sched.ClassByName(class)
+	if !ok {
+		return sched.SubmitOptions{}, fmt.Errorf("remote: unknown class %q", class)
+	}
+	opt := sched.SubmitOptions{Class: c}
+	if deadlineMillis > 0 {
+		opt.Deadline = time.Now().Add(time.Duration(deadlineMillis) * time.Millisecond)
+	}
+	return opt, nil
+}
+
 // handleClusterServing installs the steady-state job and stats handlers.
-func handleClusterServing(srv *rpc.Server, sch *sched.Scheduler) {
+// A non-nil adm screens every job request before it reaches the
+// scheduler: per-tenant token buckets plus the live-p99 overload shed.
+func handleClusterServing(srv *rpc.Server, sch *sched.Scheduler, adm *Admission) {
 	srv.Handle("Cluster.RunJob", rpc.Typed(func(in JobRequest) (JobResponse, error) {
-		out, err := sch.SubmitSealed(in.Kernel, in.Params, in.SealedInput).Wait()
+		opt, err := submitOptions(in.Class, in.DeadlineMillis)
+		if err != nil {
+			return JobResponse{}, err
+		}
+		if adm != nil {
+			if err := adm.Admit(in.Tenant, opt.Class, 1); err != nil {
+				return JobResponse{}, err
+			}
+		}
+		out, err := sch.SubmitSealedOpts(in.Kernel, in.Params, in.SealedInput, opt).Wait()
 		if err != nil {
 			return JobResponse{}, err
 		}
@@ -196,11 +229,20 @@ func handleClusterServing(srv *rpc.Server, sch *sched.Scheduler) {
 		if len(in.Jobs) == 0 {
 			return BatchResponse{}, fmt.Errorf("remote: empty batch")
 		}
+		opt, err := submitOptions(in.Class, in.DeadlineMillis)
+		if err != nil {
+			return BatchResponse{}, err
+		}
+		if adm != nil {
+			if err := adm.Admit(in.Tenant, opt.Class, len(in.Jobs)); err != nil {
+				return BatchResponse{}, err
+			}
+		}
 		jobs := make([]core.SealedJob, len(in.Jobs))
 		for i, j := range in.Jobs {
 			jobs[i] = core.SealedJob{Params: j.Params, Input: j.SealedInput}
 		}
-		futs := sch.SubmitSealedBatch(in.Kernel, jobs)
+		futs := sch.SubmitSealedBatchOpts(in.Kernel, jobs, opt)
 		resp := BatchResponse{Results: make([]BatchJobResult, len(futs))}
 		for i, f := range futs {
 			out, err := f.Wait()
@@ -221,11 +263,14 @@ func handleClusterServing(srv *rpc.Server, sch *sched.Scheduler) {
 }
 
 // Reconnect policy for ClusterSession: how many dial-and-retry rounds one
-// call may burn before surfacing the transport error, and the first
-// backoff (doubled per round).
-const (
+// call may burn before surfacing the transport error, and the backoff —
+// doubled per round but capped at clusterRedialMax, so a long outage
+// never grows the wait unboundedly. Variables, not constants, so tests
+// can compress the schedule.
+var (
 	clusterRedialAttempts = 4
 	clusterRedialBase     = 50 * time.Millisecond
+	clusterRedialMax      = 1 * time.Second
 )
 
 // ClusterSession is the data owner's session with a device pool. Each
@@ -243,6 +288,7 @@ const (
 type ClusterSession struct {
 	addr string
 	exps []client.Expectations
+	done chan struct{} // closed by Close; interrupts redial backoff
 
 	mu      sync.Mutex
 	c       *rpc.Client
@@ -250,6 +296,41 @@ type ClusterSession struct {
 	redials int
 	nonce   []byte
 	dataKey []byte
+	qos     QoS
+	qosSet  bool
+}
+
+// QoS is a session's per-job quality-of-service contract, attached to
+// every RunJob/RunBatch request so the gateway can rate-limit by tenant,
+// schedule by class, and shed expired work.
+type QoS struct {
+	// Tenant identifies the caller for the gateway's per-tenant token
+	// bucket; empty means the anonymous bucket.
+	Tenant string
+	// Class is the scheduling band (sched.ClassBatch/Standard/Critical).
+	Class sched.Class
+	// Deadline, when positive, is the per-job relative deadline: the
+	// gateway converts it to an absolute deadline at admission.
+	Deadline time.Duration
+}
+
+// SetQoS attaches a QoS contract to every subsequent RunJob/RunBatch.
+// Sessions that never call it send no QoS fields and the gateway applies
+// its defaults (ClassStandard, no deadline, anonymous tenant).
+func (s *ClusterSession) SetQoS(q QoS) {
+	s.mu.Lock()
+	s.qos, s.qosSet = q, true
+	s.mu.Unlock()
+}
+
+// qosFields renders the session's QoS for a wire request.
+func (s *ClusterSession) qosFields() (tenant, class string, deadlineMillis int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.qosSet {
+		return "", "", 0
+	}
+	return s.qos.Tenant, s.qos.Class.String(), s.qos.Deadline.Milliseconds()
 }
 
 // DialCluster opens a session toward a cluster gateway. exps holds one
@@ -264,7 +345,7 @@ func DialCluster(addr string, exps []client.Expectations) (*ClusterSession, erro
 	if err != nil {
 		return nil, fmt.Errorf("remote: cluster: %w", err)
 	}
-	return &ClusterSession{addr: addr, exps: exps, c: c}, nil
+	return &ClusterSession{addr: addr, exps: exps, c: c, done: make(chan struct{})}, nil
 }
 
 // client returns the live rpc client, re-dialing if the previous one was
@@ -297,14 +378,35 @@ func (s *ClusterSession) invalidate(old *rpc.Client) {
 	s.mu.Unlock()
 }
 
-// call performs one RPC with redial-and-retry on broken transports.
+// sleep waits out one backoff window, returning false immediately if the
+// session is closed first — a Close during redial must never wait out the
+// full backoff.
+func (s *ClusterSession) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-s.done:
+		return false
+	}
+}
+
+// call performs one RPC with redial-and-retry on broken transports. The
+// backoff doubles per attempt up to clusterRedialMax and the wait aborts
+// the moment the session closes.
 func (s *ClusterSession) call(method string, params, result any) error {
 	backoff := clusterRedialBase
 	var err error
 	for attempt := 0; attempt < clusterRedialAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
+			if !s.sleep(backoff) {
+				return fmt.Errorf("remote: cluster session closed during redial backoff")
+			}
 			backoff *= 2
+			if backoff > clusterRedialMax {
+				backoff = clusterRedialMax
+			}
 		}
 		var c *rpc.Client
 		c, err = s.client()
@@ -409,8 +511,13 @@ func (s *ClusterSession) RunJob(kernel string, params [4]uint64, input []byte) (
 	if err != nil {
 		return nil, err
 	}
+	tenant, class, deadlineMillis := s.qosFields()
+	req := JobRequest{
+		Kernel: kernel, Params: params, SealedInput: sealedIn,
+		Tenant: tenant, Class: class, DeadlineMillis: deadlineMillis,
+	}
 	var resp JobResponse
-	if err := s.call("Cluster.RunJob", JobRequest{Kernel: kernel, Params: params, SealedInput: sealedIn}, &resp); err != nil {
+	if err := s.call("Cluster.RunJob", req, &resp); err != nil {
 		return nil, err
 	}
 	out, err := cryptoutil.Open(key, resp.SealedOutput, []byte("job-output"))
@@ -450,7 +557,11 @@ func (s *ClusterSession) RunBatch(kernel string, jobs []BatchInput) ([]BatchResu
 	if len(jobs) == 0 {
 		return nil, nil
 	}
-	req := BatchRequest{Kernel: kernel, Jobs: make([]BatchJob, len(jobs))}
+	tenant, class, deadlineMillis := s.qosFields()
+	req := BatchRequest{
+		Kernel: kernel, Jobs: make([]BatchJob, len(jobs)),
+		Tenant: tenant, Class: class, DeadlineMillis: deadlineMillis,
+	}
 	for i, j := range jobs {
 		sealedIn, err := cryptoutil.Seal(key, j.Input, []byte("job-input"))
 		if err != nil {
@@ -499,11 +610,15 @@ func (s *ClusterSession) Metrics() (metrics.Snapshot, error) {
 	return resp.Metrics, nil
 }
 
-// Close releases the session.
+// Close releases the session. A call parked in redial backoff returns
+// promptly instead of waiting the window out.
 func (s *ClusterSession) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.closed = true
+	if !s.closed {
+		s.closed = true
+		close(s.done)
+	}
 	if s.c == nil {
 		return nil
 	}

@@ -56,9 +56,13 @@ type DrainDeviceRequest struct {
 // The manager must be empty and is consumed: the gateway adopts each system
 // after the owner's provisioning completes, and Scale/Drain mutate its
 // membership afterwards.
-func ServeFleet(m *fleet.Manager, k int, addr string) (*rpc.Server, []*core.System, string, error) {
+func ServeFleet(m *fleet.Manager, k int, addr string, opts ...GatewayOption) (*rpc.Server, []*core.System, string, error) {
 	if k <= 0 {
 		return nil, nil, "", fmt.Errorf("remote: fleet of %d devices", k)
+	}
+	var o gatewayOptions
+	for _, opt := range opts {
+		opt(&o)
 	}
 	systems, err := m.SpawnN(k)
 	if err != nil {
@@ -66,7 +70,7 @@ func ServeFleet(m *fleet.Manager, k int, addr string) (*rpc.Server, []*core.Syst
 	}
 	srv := rpc.NewServer()
 	handleClusterHandshake(srv, systems, m.Adopt)
-	handleClusterServing(srv, m.Scheduler())
+	handleClusterServing(srv, m.Scheduler(), o.admission)
 
 	srv.Handle("Cluster.Scale", rpc.Typed(func(in ScaleRequest) (ScaleResponse, error) {
 		var resp ScaleResponse

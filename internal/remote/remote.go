@@ -149,6 +149,12 @@ type JobRequest struct {
 	Kernel      string    `json:"kernel"`
 	Params      [4]uint64 `json:"params"`
 	SealedInput []byte    `json:"sealed_input"`
+	// QoS fields, used by the cluster gateway (see ClusterSession.SetQoS);
+	// all optional — empty means anonymous tenant, ClassStandard, no
+	// deadline. The instance gateway ignores them.
+	Tenant         string `json:"tenant,omitempty"`
+	Class          string `json:"class,omitempty"`
+	DeadlineMillis int64  `json:"deadline_ms,omitempty"`
 }
 
 // JobResponse carries the sealed result.

@@ -272,7 +272,7 @@ func newClusterDeployment(t testing.TB, n int, kernel accel.Kernel) *clusterDepl
 
 // newClusterDeploymentTiming is newClusterDeployment with explicit device
 // timing (a zero Timing defaults to FastTiming inside core.NewSystem).
-func newClusterDeploymentTiming(t testing.TB, n int, kernel accel.Kernel, timing core.Timing) *clusterDeployment {
+func newClusterDeploymentTiming(t testing.TB, n int, kernel accel.Kernel, timing core.Timing, opts ...GatewayOption) *clusterDeployment {
 	t.Helper()
 	mfr, err := manufacturer.New()
 	if err != nil {
@@ -305,7 +305,7 @@ func newClusterDeploymentTiming(t testing.TB, n int, kernel accel.Kernel, timing
 	}
 	sch := sched.New(sched.Config{})
 	t.Cleanup(sch.Close)
-	srv, addr, err := ServeCluster(systems, sch, "127.0.0.1:0")
+	srv, addr, err := ServeCluster(systems, sch, "127.0.0.1:0", opts...)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,234 @@
+package sched
+
+import (
+	"container/heap"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Class is a workload's quality-of-service band. Scheduling is strict
+// priority across bands — a device never starts a lower-band job while a
+// higher band has work queued — and earliest-deadline-first inside each
+// band (jobs without deadlines order by submission). Under overload the
+// bands degrade differently: ClassBatch is rejected fast with
+// ErrOverloaded when every routable queue is full, while ClassStandard
+// and ClassCritical wait (re-routing to whichever device frees space
+// first) bounded only by their own deadline or scheduler shutdown.
+type Class uint8
+
+const (
+	// ClassBatch is best-effort bulk work: first shed under overload,
+	// never blocks the submitter.
+	ClassBatch Class = iota
+	// ClassStandard is the default for all Submit* calls that do not
+	// specify a class.
+	ClassStandard
+	// ClassCritical is latency-sensitive work that jumps every queue.
+	ClassCritical
+
+	numClasses = 3
+)
+
+// String returns the class's wire/flag name.
+func (c Class) String() string {
+	switch c {
+	case ClassBatch:
+		return "batch"
+	case ClassStandard:
+		return "standard"
+	case ClassCritical:
+		return "critical"
+	}
+	return "critical" // out-of-range clamps high; see clamp
+}
+
+// clamp maps out-of-range values to the nearest valid class so a corrupt
+// or future wire value cannot index past the band array.
+func (c Class) clamp() Class {
+	if c >= numClasses {
+		return ClassCritical
+	}
+	return c
+}
+
+// ClassByName parses a class's String() form (case-insensitive). The
+// empty string selects ClassStandard.
+func ClassByName(name string) (Class, bool) {
+	switch strings.ToLower(name) {
+	case "", "standard":
+		return ClassStandard, true
+	case "batch":
+		return ClassBatch, true
+	case "critical":
+		return ClassCritical, true
+	}
+	return ClassStandard, false
+}
+
+// pushVerdict is the outcome of a pqueue push attempt.
+type pushVerdict int
+
+const (
+	pushOK pushVerdict = iota
+	pushFull
+	pushDraining
+	pushClosed
+)
+
+// jobHeap orders one band by (deadline, submission sequence): EDF with
+// FIFO tie-break, so deadline-free jobs inside a band keep the old
+// channel's arrival order.
+type jobHeap []*job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, k int) bool {
+	if h[i].deadlineNs != h[k].deadlineNs {
+		return h[i].deadlineNs < h[k].deadlineNs
+	}
+	return h[i].seq < h[k].seq
+}
+func (h jobHeap) Swap(i, k int)       { h[i], h[k] = h[k], h[i] }
+func (h *jobHeap) Push(x interface{}) { *h = append(*h, x.(*job)) }
+func (h *jobHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}
+
+// pqueue is one device's bounded priority queue: numClasses EDF heaps
+// popped highest band first, plus a FIFO of drain barriers that only pop
+// when every band is empty — the worker is sequential, so a barrier's
+// resolution proves every job accepted before the drain began has
+// finished. Capacity counts queue entries (a batch is one entry, matching
+// the old channel's semantics); barriers are exempt so a drain can always
+// park its sentinel.
+//
+// The queue has exactly one consumer (the device worker). notEmpty and
+// space are capacity-1 wakeup tokens, not item counts: a consumer or an
+// admission waiter that blocks is guaranteed a token from the next
+// push/pop, and stale tokens only cost a spurious rescan.
+type pqueue struct {
+	mu       sync.Mutex
+	bands    [numClasses]jobHeap
+	barriers []*job
+	entries  int
+	capacity int
+	closed   bool
+	// draining aliases the owning device's flag: checked under mu so a
+	// push serialized after Drain's barrier can never land behind it.
+	draining *atomic.Bool
+	notEmpty chan struct{}
+	space    chan struct{}
+}
+
+func newPQueue(capacity int, draining *atomic.Bool) *pqueue {
+	return &pqueue{
+		capacity: capacity,
+		draining: draining,
+		notEmpty: make(chan struct{}, 1),
+		space:    make(chan struct{}, 1),
+	}
+}
+
+func signal(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// push offers a job. force bypasses the capacity bound (used by
+// redispatch, whose retry budget is already bounded) but never the
+// closed/draining checks.
+func (q *pqueue) push(j *job, force bool) pushVerdict {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return pushClosed
+	}
+	if q.draining.Load() {
+		q.mu.Unlock()
+		return pushDraining
+	}
+	if !force && q.entries >= q.capacity {
+		q.mu.Unlock()
+		return pushFull
+	}
+	heap.Push(&q.bands[j.class.clamp()], j)
+	q.entries++
+	q.mu.Unlock()
+	signal(q.notEmpty)
+	return pushOK
+}
+
+// pushBarrier parks a drain sentinel below every band. It ignores both
+// capacity and the draining flag (Drain itself sets the flag first) and
+// reports false only on a closed queue — which means the worker has
+// already drained everything and exited.
+func (q *pqueue) pushBarrier(j *job) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.barriers = append(q.barriers, j)
+	q.mu.Unlock()
+	signal(q.notEmpty)
+	return true
+}
+
+// pop blocks until work is available and returns the highest-priority
+// job (EDF within its band), a barrier if every band is empty, or nil
+// once the queue is closed and fully drained.
+func (q *pqueue) pop() *job {
+	for {
+		q.mu.Lock()
+		for c := numClasses - 1; c >= 0; c-- {
+			if len(q.bands[c]) > 0 {
+				j := heap.Pop(&q.bands[c]).(*job)
+				q.entries--
+				q.mu.Unlock()
+				signal(q.space)
+				return j
+			}
+		}
+		if len(q.barriers) > 0 {
+			j := q.barriers[0]
+			q.barriers = q.barriers[1:]
+			q.mu.Unlock()
+			return j
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return nil
+		}
+		q.mu.Unlock()
+		<-q.notEmpty
+	}
+}
+
+// hasSpace reports whether a non-forced push would currently be
+// admitted.
+func (q *pqueue) hasSpace() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return !q.closed && !q.draining.Load() && q.entries < q.capacity
+}
+
+// close stops admission; the worker drains the remaining entries and
+// exits. Idempotent.
+func (q *pqueue) close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	q.mu.Unlock()
+	signal(q.notEmpty)
+	signal(q.space)
+}

@@ -3,13 +3,13 @@
 // The paper's evaluation (§6) drives multiple U200 boards from one host
 // process; this package reproduces that shape in the simulation. Each
 // booted *core.System — its register file and DMA windows a single shared
-// resource — gets one worker goroutine and a bounded job queue, and the
-// scheduler routes every submitted workload to the least-loaded healthy
-// device whose deployed CL matches the workload's kernel (ties broken
-// round-robin). Session reuse (core.System's cached data-key epoch) means
-// a device that stays busy pays the 4-write secure key/IV exchange once
-// per rekey epoch instead of once per job; only the single secure start
-// command remains on the per-job hot path.
+// resource — gets one worker goroutine and a bounded priority queue, and
+// the scheduler routes every submitted workload to the least-loaded
+// healthy device whose deployed CL matches the workload's kernel (ties
+// broken round-robin). Session reuse (core.System's cached data-key
+// epoch) means a device that stays busy pays the 4-write secure key/IV
+// exchange once per rekey epoch instead of once per job; only the single
+// secure start command remains on the per-job hot path.
 //
 // # Failure awareness
 //
@@ -31,13 +31,28 @@
 //     authentication failure) are never retried — resubmitting them
 //     cannot help and would forge extra failures.
 //
+// # Overload & QoS
+//
+// Demand above capacity degrades gracefully instead of blocking or
+// collapsing. Every job carries a Class (see SubmitOptions): devices
+// serve strict priority across bands and earliest-deadline-first within
+// one, so a flood of ClassBatch work cannot delay a ClassCritical job by
+// more than the one job already executing. Admission is class-aware:
+// when every routable queue for a kernel is full, ClassBatch is rejected
+// immediately with ErrOverloaded, while higher classes wait for space on
+// *any* capable device — re-routing each round, so one wedged worker can
+// never strand a submitter while healthy siblings have room. A job whose
+// deadline has already passed is shed with ErrDeadlineExceeded — at
+// admission, or at pickup, but never after touching a device.
+//
 // Every submitted job's future resolves exactly once, quarantined or not,
-// retried or not, even across Close.
+// retried or not, shed or not, even across Close.
 package sched
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,15 +68,21 @@ import (
 
 // Process-wide metric handles (see internal/metrics): acquired once so the
 // per-job hot path is a handful of atomic ops and no map lookups. The queue
-// depth gauge mirrors every device's queued counter in aggregate; the three
-// latency histograms split a job's life into time-in-queue, time-on-device,
-// and end-to-end.
+// depth gauge counts jobs a device has accepted and not yet finished
+// (pending + executing, batches weighted by size); it is incremented
+// exactly once when a job is enqueued and decremented exactly once when
+// the job leaves its device — completion, terminal failure, deadline
+// shed, or hand-off to redispatch (which re-increments at the new
+// device). Drain barriers are not counted. The three latency histograms
+// split a job's life into time-in-queue, time-on-device, and end-to-end.
 var (
 	mQueueDepth   = metrics.Default().Gauge("salus_sched_queue_depth")
 	mSubmitted    = metrics.Default().Counter("salus_sched_submitted_total")
 	mCompleted    = metrics.Default().Counter("salus_sched_completed_total")
 	mFailed       = metrics.Default().Counter("salus_sched_failed_total")
 	mRedispatched = metrics.Default().Counter("salus_sched_redispatched_total")
+	mOverloaded   = metrics.Default().Counter("salus_sched_overloaded_total")
+	mShed         = metrics.Default().Counter("salus_sched_deadline_shed_total")
 	mQuarantines  = metrics.Default().Counter("salus_sched_quarantine_total")
 	mReadmits     = metrics.Default().Counter("salus_sched_readmit_total")
 	mPermanents   = metrics.Default().Counter("salus_sched_permanent_total")
@@ -72,9 +93,9 @@ var (
 
 // Defaults for Config's zero values.
 const (
-	// DefaultQueueDepth bounds each device's pending-job queue. A full
-	// queue applies backpressure: Submit blocks until the worker drains a
-	// slot.
+	// DefaultQueueDepth bounds each device's pending-entry queue. Full
+	// queues apply class-aware backpressure: ClassBatch submissions fail
+	// fast with ErrOverloaded, higher classes wait for space anywhere.
 	DefaultQueueDepth = 32
 	// DefaultMaxRetries is how many times one job is re-dispatched after a
 	// retryable device fault before its future resolves with the error.
@@ -88,9 +109,15 @@ const (
 	DefaultQuarantineMax  = 8 * time.Second
 )
 
+// admitPoll bounds how long a blocked Standard/Critical submission waits
+// before re-routing: space wakeups are per-device single tokens, so the
+// poll catches lost races and newly registered or readmitted devices.
+const admitPoll = 2 * time.Millisecond
+
 // Config tunes a Scheduler. Zero values select the defaults above.
 type Config struct {
-	// QueueDepth is the per-device pending-job bound.
+	// QueueDepth is the per-device pending-entry bound (a batch counts as
+	// one entry).
 	QueueDepth int
 	// MaxRetries bounds re-dispatches per job after retryable faults;
 	// negative disables retry entirely.
@@ -109,6 +136,20 @@ type Config struct {
 	PermanentAfter int
 }
 
+// SubmitOptions carries a job's QoS contract; the zero value is
+// ClassBatch with no deadline, so most callers want at least
+// {Class: ClassStandard} — which is what the option-less Submit* methods
+// use.
+type SubmitOptions struct {
+	// Class selects the priority band; see Class.
+	Class Class
+	// Deadline, when non-zero, is the absolute time after which the job's
+	// result is worthless. Expired jobs are shed with ErrDeadlineExceeded
+	// instead of occupying a device, and a blocked admission gives up
+	// when the deadline passes.
+	Deadline time.Time
+}
+
 // Lifecycle errors.
 var (
 	// ErrSchedulerClosed is the deterministic post-Close verdict: any
@@ -125,6 +166,13 @@ var (
 	// ErrDrainTimeout is returned when a drain deadline expires with jobs
 	// still queued. The device stays unroutable; the jobs keep running.
 	ErrDrainTimeout = errors.New("sched: drain deadline exceeded")
+	// ErrOverloaded is the fast-reject verdict for ClassBatch work when
+	// every routable queue for its kernel is full. The caller may retry
+	// later; nothing was enqueued.
+	ErrOverloaded = errors.New("sched: overloaded")
+	// ErrDeadlineExceeded resolves a job whose deadline passed before a
+	// device could run it; the job never executed.
+	ErrDeadlineExceeded = errors.New("sched: deadline exceeded")
 )
 
 // Retryable reports whether err is a transport- or session-level fault —
@@ -194,6 +242,13 @@ type job struct {
 	kernel   string
 	attempts int // re-dispatches so far
 
+	// QoS: class selects the band, deadlineNs (UnixNano, MaxInt64 when
+	// none) orders the band's EDF heap with seq as the FIFO tie-break.
+	class      Class
+	deadline   time.Time
+	deadlineNs int64
+	seq        uint64
+
 	// submitAt stamps Submit/SubmitSealed; enqueueAt restamps every
 	// (re)dispatch. Wait time is enqueue->worker-pickup, job time is
 	// submit->resolution.
@@ -209,8 +264,9 @@ type job struct {
 	sealedInput []byte
 
 	// barrier marks a drain sentinel: the worker resolves the future
-	// without touching the device. Because queues are FIFO, its resolution
-	// proves every job accepted before it has finished.
+	// without touching the device. Barriers sort below every band, so
+	// their resolution proves every job accepted before the drain began
+	// has finished.
 	barrier bool
 
 	// Batch path (SubmitBatch/SubmitSealedBatch): the whole vector rides
@@ -231,25 +287,40 @@ func (j *job) size() int64 {
 	return 1
 }
 
+// expired reports whether the job's deadline (if any) has passed.
+func (j *job) expired(now time.Time) bool {
+	return !j.deadline.IsZero() && !now.Before(j.deadline)
+}
+
+// fail resolves every future the job carries with err and observes the
+// end-to-end latency once per job.
+func (j *job) fail(err error) {
+	if j.batch {
+		for _, f := range j.futs {
+			mJob.Since(j.submitAt)
+			f.resolve(nil, err)
+		}
+		return
+	}
+	mJob.Since(j.submitAt)
+	j.fut.resolve(nil, err)
+}
+
 // device is one registered system plus its queue, counters, and health.
 type device struct {
 	sys    *core.System
-	jobs   chan *job
-	queued atomic.Int64
-	// senders counts in-flight queue sends so Close can wait for them
-	// before closing the channel (sends happen outside the scheduler
-	// lock — see route).
-	senders sync.WaitGroup
+	q      *pqueue
+	queued atomic.Int64 // accepted and unfinished, batches weighted
 
 	completed atomic.Uint64
 	failed    atomic.Uint64
 	retried   atomic.Uint64 // jobs this device faulted that were re-dispatched
+	shed      atomic.Uint64 // expired jobs dropped at pickup
 
 	// draining stops routing to this device while its queue runs dry
-	// (Drain/Remove). closeOnce arbitrates queue closure between Remove and
-	// Close so the channel is closed exactly once.
-	draining  atomic.Bool
-	closeOnce sync.Once
+	// (Drain/Remove). The queue checks it under its own lock, so no push
+	// can land behind a drain barrier.
+	draining atomic.Bool
 
 	// Health / circuit breaker.
 	hmu         sync.Mutex
@@ -262,10 +333,25 @@ type device struct {
 	permanent   bool // breaker latched open; never probed again
 }
 
-// closeJobs closes the queue exactly once; the worker drains what remains
-// and exits.
-func (d *device) closeJobs() {
-	d.closeOnce.Do(func() { close(d.jobs) })
+// enqueue offers the job to the device's queue and, on acceptance, takes
+// the accounting increments that the dequeue paths pair with.
+func (d *device) enqueue(j *job, force bool) pushVerdict {
+	j.enqueueAt = time.Now()
+	v := d.q.push(j, force)
+	if v == pushOK {
+		n := j.size()
+		d.queued.Add(n)
+		mQueueDepth.Add(n)
+	}
+	return v
+}
+
+// depart takes the accounting decrements for a job leaving this device
+// (completion, terminal failure, shed, or redispatch hand-off).
+func (d *device) depart(j *job) {
+	n := j.size()
+	d.queued.Add(-n)
+	mQueueDepth.Add(-n)
 }
 
 // routable reports whether routing should consider this device at all —
@@ -353,13 +439,32 @@ func (d *device) onFault(now time.Time, after int, base, max time.Duration, perm
 	}
 }
 
+// shedExpired drops a job whose deadline passed while it waited in the
+// queue: counters, then ErrDeadlineExceeded — the device is never
+// touched.
+func (d *device) shedExpired(j *job) {
+	n := uint64(j.size())
+	d.depart(j)
+	d.shed.Add(n)
+	d.failed.Add(n)
+	mShed.Add(n)
+	mFailed.Add(n)
+	j.fail(ErrDeadlineExceeded)
+}
+
 func (d *device) run(s *Scheduler) {
 	defer s.wg.Done()
-	for j := range d.jobs {
+	for {
+		j := d.q.pop()
+		if j == nil {
+			return
+		}
 		if j.barrier {
-			d.queued.Add(-1)
-			mQueueDepth.Add(-1)
 			j.fut.resolve(nil, nil)
+			continue
+		}
+		if j.expired(time.Now()) {
+			d.shedExpired(j)
 			continue
 		}
 		if j.batch {
@@ -375,8 +480,7 @@ func (d *device) run(s *Scheduler) {
 		} else {
 			out, err = d.sys.RunJob(j.w)
 		}
-		d.queued.Add(-1)
-		mQueueDepth.Add(-1)
+		d.depart(j)
 		mService.Since(serviceStart)
 		if err == nil {
 			d.completed.Add(1)
@@ -420,8 +524,7 @@ func (d *device) runBatch(s *Scheduler, j *job) {
 	} else {
 		results, err = d.sys.RunJobBatch(j.ws)
 	}
-	d.queued.Add(-n)
-	mQueueDepth.Add(-n)
+	d.depart(j)
 	mService.Since(serviceStart)
 
 	if err != nil {
@@ -432,15 +535,12 @@ func (d *device) runBatch(s *Scheduler, j *job) {
 				j.attempts++
 				d.retried.Add(uint64(n))
 				mRedispatched.Add(uint64(n))
-				s.redispatchBatch(j, d, err)
+				s.redispatch(j, d, err)
 				return
 			}
 		}
 		mFailed.Add(uint64(n))
-		for _, f := range j.futs {
-			mJob.Since(j.submitAt)
-			f.resolve(nil, err)
-		}
+		j.fail(err)
 		return
 	}
 
@@ -457,10 +557,14 @@ func (d *device) runBatch(s *Scheduler, j *job) {
 		d.failed.Add(1)
 		if Retryable(r.Err) && j.attempts < s.maxRetries {
 			sub := &job{
-				fut:      j.futs[i],
-				kernel:   j.kernel,
-				attempts: j.attempts + 1,
-				submitAt: j.submitAt,
+				fut:        j.futs[i],
+				kernel:     j.kernel,
+				attempts:   j.attempts + 1,
+				class:      j.class,
+				deadline:   j.deadline,
+				deadlineNs: j.deadlineNs,
+				seq:        j.seq,
+				submitAt:   j.submitAt,
 			}
 			if j.sealed {
 				sub.sealed = true
@@ -486,17 +590,18 @@ func (d *device) runBatch(s *Scheduler, j *job) {
 // Scheduler routes jobs to a pool of booted systems.
 //
 // Lock discipline: routing holds mu.RLock only long enough to pick a
-// device and reserve the send (queued counter + senders group); the
-// channel send itself — which may block under backpressure — happens
-// outside the lock, so a full queue never stalls Register or Close. Close
-// waits for each device's reserved senders before closing its channel, so
-// the send-on-closed-channel race stays structurally impossible.
+// device; the queue push happens outside the scheduler lock under the
+// queue's own mutex, which also arbitrates closure — a push racing Close
+// or Remove observes a closed queue and re-routes, so nothing is ever
+// lost or sent into the void. A blocked admission holds no locks at all.
 type Scheduler struct {
 	mu      sync.RWMutex
 	devices []*device
 	closed  bool
+	done    chan struct{} // closed by Close; unblocks admission waiters
 	wg      sync.WaitGroup
 	rr      atomic.Uint64 // round-robin offset for tie-breaking
+	seq     atomic.Uint64 // submission order for EDF ties
 
 	queueDepth      int
 	maxRetries      int
@@ -509,6 +614,7 @@ type Scheduler struct {
 // New returns an empty scheduler; add systems with Register.
 func New(cfg Config) *Scheduler {
 	s := &Scheduler{
+		done:            make(chan struct{}),
 		queueDepth:      cfg.QueueDepth,
 		maxRetries:      cfg.MaxRetries,
 		quarantineAfter: cfg.QuarantineAfter,
@@ -552,7 +658,8 @@ func (s *Scheduler) Register(sys *core.System) error {
 	if s.closed {
 		return ErrSchedulerClosed
 	}
-	d := &device{sys: sys, jobs: make(chan *job, s.queueDepth)}
+	d := &device{sys: sys}
+	d.q = newPQueue(s.queueDepth, &d.draining)
 	s.devices = append(s.devices, d)
 	s.wg.Add(1)
 	go d.run(s)
@@ -589,13 +696,14 @@ func (s *Scheduler) findDevice(dna fpga.DNA) *device {
 
 // Drain stops routing new work to the device and waits — bounded by
 // timeout, where <= 0 means wait forever — until every job it had already
-// accepted has finished. It works by flipping the routing flag, letting
-// the in-flight reserved sends land, then queueing a barrier sentinel
-// behind them: FIFO order means the barrier's resolution proves the queue
-// ran dry. On ErrDrainTimeout the device stays unroutable and its
-// remaining jobs keep running (their futures still resolve); a drained
-// device can be decommissioned with Remove or handed back to routing only
-// by a future Register of its system.
+// accepted has finished. It flips the routing flag (the queue checks it
+// under its own lock, so no submission can slip in afterwards) and parks
+// a barrier sentinel below every priority band: the barrier pops only
+// once the queue is empty, so its resolution proves the accepted work ran
+// dry. On ErrDrainTimeout the device stays unroutable and its remaining
+// jobs keep running (their futures still resolve); a drained device can
+// be decommissioned with Remove or handed back to routing only by a
+// future Register of its system.
 func (s *Scheduler) Drain(dna fpga.DNA, timeout time.Duration) error {
 	start := time.Now()
 	s.mu.RLock()
@@ -611,40 +719,11 @@ func (s *Scheduler) Drain(dna fpga.DNA, timeout time.Duration) error {
 	d.draining.Store(true)
 	s.mu.RUnlock()
 
-	// Routing stopped reserving this device the moment the flag flipped;
-	// wait for the sends reserved before that, so the barrier lands behind
-	// every accepted job.
-	d.senders.Wait()
-
-	// Reserve the barrier send under the same discipline as route, so Close
-	// cannot close the queue underneath it.
-	s.mu.RLock()
-	if s.closed {
-		s.mu.RUnlock()
-		return ErrSchedulerClosed
-	}
-	d.queued.Add(1)
-	mQueueDepth.Add(1)
-	d.senders.Add(1)
-	s.mu.RUnlock()
-
 	j := &job{fut: &Future{done: make(chan struct{})}, barrier: true}
-	var deadline <-chan time.Time
-	if timeout > 0 {
-		t := time.NewTimer(timeout)
-		defer t.Stop()
-		deadline = t.C
-	}
-	select {
-	case d.jobs <- j:
-		d.senders.Done()
-	case <-deadline:
-		// The queue is so backed up even the sentinel would not fit; leave
-		// the device unroutable and release the reservation.
-		d.queued.Add(-1)
-		mQueueDepth.Add(-1)
-		d.senders.Done()
-		return fmt.Errorf("%w: %s", ErrDrainTimeout, dna)
+	if !d.q.pushBarrier(j) {
+		// The queue is already closed: its worker drained everything and
+		// exited, which is exactly the post-condition a drain wants.
+		return nil
 	}
 	if timeout <= 0 {
 		_, _ = j.fut.Wait()
@@ -687,26 +766,27 @@ func (s *Scheduler) Remove(dna fpga.DNA, timeout time.Duration) (*core.System, e
 		// A concurrent Remove got here first.
 		return nil, fmt.Errorf("%w: %s", ErrUnknownDevice, dna)
 	}
-	d.senders.Wait()
-	d.closeJobs()
+	d.q.close()
 	return d.sys, drainErr
 }
 
-// pick chooses the admissible device with a matching CL and the fewest
-// queued jobs; equal depths are broken round-robin, so an idle pool
-// spreads work instead of hammering device 0. If every matching device is
-// quarantined, the least-loaded one is picked anyway — degrading beats
-// rejecting, and bounded retries cap the damage. Callers hold at least
-// mu.RLock.
-func (s *Scheduler) pick(kernelName string, exclude *device) *device {
+// pick chooses a target for the kernel under a three-tier preference:
+// admissible with queue space, then admissible (the caller may wait or
+// shed), then — if every matching device is quarantined — the
+// least-loaded one anyway, because degrading beats rejecting and bounded
+// retries cap the damage. Within a tier the fewest queued jobs wins,
+// ties broken round-robin so an idle pool spreads work instead of
+// hammering device 0. The second return reports whether the choice
+// currently has queue space. Callers hold at least mu.RLock.
+func (s *Scheduler) pick(kernelName string, exclude *device) (*device, bool) {
 	n := len(s.devices)
 	if n == 0 {
-		return nil
+		return nil, false
 	}
 	now := time.Now()
 	start := int(s.rr.Add(1) % uint64(n))
-	var best, fallback *device
-	var bestQ, fallbackQ int64
+	var bestSpace, best, fallback *device
+	var bestSpaceQ, bestQ, fallbackQ int64
 	for i := 0; i < n; i++ {
 		d := s.devices[(start+i)%n]
 		if d == exclude || d.sys.Package.KernelName != kernelName {
@@ -725,133 +805,202 @@ func (s *Scheduler) pick(kernelName string, exclude *device) *device {
 		if best == nil || q < bestQ {
 			best, bestQ = d, q
 		}
+		if d.q.hasSpace() && (bestSpace == nil || q < bestSpaceQ) {
+			bestSpace, bestSpaceQ = d, q
+		}
 	}
-	if best == nil {
-		best = fallback
-	}
-	if best != nil {
+	switch {
+	case bestSpace != nil:
+		bestSpace.beginProbe()
+		return bestSpace, true
+	case best != nil:
 		best.beginProbe()
+		return best, false
+	case fallback != nil:
+		fallback.beginProbe()
+		return fallback, fallback.q.hasSpace()
 	}
-	return best
+	return nil, false
 }
 
-// route picks a target under mu.RLock and reserves the send: the queue
-// counter is bumped and the caller is registered on the device's sender
-// group, so Close cannot close the queue while the send is still pending.
-// The blocking send itself is the caller's, outside any scheduler lock.
-func (s *Scheduler) route(kernelName string, exclude *device, size int64) (*device, error) {
+// route picks a target under mu.RLock; hasSpace reports whether its queue
+// could currently admit a non-forced push. The push itself happens
+// outside the lock and may still race to full — callers loop.
+func (s *Scheduler) route(kernelName string, exclude *device) (*device, bool, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
-		return nil, ErrSchedulerClosed
+		return nil, false, ErrSchedulerClosed
 	}
-	d := s.pick(kernelName, exclude)
+	d, hasSpace := s.pick(kernelName, exclude)
 	if d == nil && exclude != nil {
 		// Nobody else runs this kernel; the faulting device is still the
 		// only candidate.
-		d = s.pick(kernelName, nil)
+		d, hasSpace = s.pick(kernelName, nil)
 	}
 	if d == nil {
-		return nil, fmt.Errorf("sched: no registered device runs kernel %q", kernelName)
+		return nil, false, fmt.Errorf("sched: no registered device runs kernel %q", kernelName)
 	}
-	d.queued.Add(size)
-	mQueueDepth.Add(size)
-	d.senders.Add(1)
-	return d, nil
+	return d, hasSpace, nil
+}
+
+// admit routes and enqueues j, applying the class-aware overload policy:
+// ClassBatch fails fast with ErrOverloaded when no capable queue has
+// space; higher classes wait — re-routing every round, so a wedged
+// device's full queue never strands them while a healthy sibling has
+// room — bounded only by the job's deadline and scheduler shutdown. A
+// non-nil return means nothing was enqueued; the caller resolves the
+// futures.
+func (s *Scheduler) admit(j *job) error {
+	now := time.Now()
+	if j.expired(now) {
+		mShed.Add(uint64(j.size()))
+		return ErrDeadlineExceeded
+	}
+	var deadlineC <-chan time.Time
+	if !j.deadline.IsZero() {
+		dt := time.NewTimer(j.deadline.Sub(now))
+		defer dt.Stop()
+		deadlineC = dt.C
+	}
+	for {
+		d, hasSpace, err := s.route(j.kernel, nil)
+		if err != nil {
+			return err
+		}
+		if hasSpace || j.class == ClassCritical {
+			// ClassCritical force-enqueues past the capacity check:
+			// making the top band wait for queue space would have it race
+			// lower-class submitters for every freed slot — priority
+			// inversion at the admission gate. The overshoot is bounded
+			// by the caller's own concurrency, and the band outranks
+			// everything already queued anyway.
+			switch d.enqueue(j, j.class == ClassCritical) {
+			case pushOK:
+				return nil
+			default:
+				// Lost a race (filled, started draining, or closed under
+				// us): pick again.
+				continue
+			}
+		}
+		if j.class == ClassBatch {
+			mOverloaded.Add(uint64(j.size()))
+			return ErrOverloaded
+		}
+		poll := time.NewTimer(admitPoll)
+		select {
+		case <-d.q.space:
+			poll.Stop()
+		case <-poll.C:
+		case <-deadlineC:
+			poll.Stop()
+			mShed.Add(uint64(j.size()))
+			return ErrDeadlineExceeded
+		case <-s.done:
+			poll.Stop()
+			return ErrSchedulerClosed
+		}
+	}
 }
 
 func (s *Scheduler) submit(j *job) *Future {
 	j.fut = &Future{done: make(chan struct{})}
 	j.submitAt = time.Now()
+	j.seq = s.seq.Add(1)
 	mSubmitted.Inc()
-	d, err := s.route(j.kernel, nil, 1)
-	if err != nil {
+	if err := s.admit(j); err != nil {
 		mFailed.Inc()
 		return errFuture(err)
 	}
-	j.enqueueAt = time.Now()
-	d.jobs <- j // blocks when the queue is full: backpressure, lock-free
-	d.senders.Done()
 	return j.fut
 }
 
-// submitBatch routes one batch entry; on a routing failure (closed
-// scheduler, no device for the kernel) every future resolves with the
-// error — deterministically, never touching a device queue.
+// submitBatch admits one batch entry; on an admission failure (closed
+// scheduler, no device for the kernel, overload, expired deadline) every
+// future resolves with the error — deterministically, never touching a
+// device queue.
 func (s *Scheduler) submitBatch(j *job) {
 	j.submitAt = time.Now()
-	n := int64(len(j.futs))
-	mSubmitted.Add(uint64(n))
-	d, err := s.route(j.kernel, nil, n)
-	if err != nil {
-		mFailed.Add(uint64(n))
+	j.seq = s.seq.Add(1)
+	n := uint64(len(j.futs))
+	mSubmitted.Add(n)
+	if err := s.admit(j); err != nil {
+		mFailed.Add(n)
 		for _, f := range j.futs {
 			f.resolve(nil, err)
 		}
-		return
 	}
-	j.enqueueAt = time.Now()
-	d.jobs <- j
-	d.senders.Done()
 }
 
-// redispatch retries a faulted job on another device. Called from worker
-// goroutines, so the send runs on its own goroutine — a worker must never
-// block on a sibling's full queue (two workers doing so to each other
-// would deadlock the pool). Dead ends resolve the future with the fault.
+// redispatch retries a faulted job (or whole batch) on another device.
+// The force push bypasses the capacity bound — the retry budget is
+// already bounded by MaxRetries — and never blocks, so workers can
+// redispatch to each other without deadlock. Dead ends resolve the
+// futures with the fault.
 func (s *Scheduler) redispatch(j *job, from *device, cause error) {
-	d, err := s.route(j.kernel, from, 1)
-	if err != nil {
-		mFailed.Inc()
-		mJob.Since(j.submitAt)
-		j.fut.resolve(nil, fmt.Errorf("sched: retry %d dead-ended (%v): %w", j.attempts, err, cause))
-		return
-	}
-	j.enqueueAt = time.Now()
-	go func() {
-		d.jobs <- j
-		d.senders.Done()
-	}()
-}
-
-// redispatchBatch retries a transport-faulted batch intact on another
-// device, under the same never-block-a-worker discipline as redispatch.
-func (s *Scheduler) redispatchBatch(j *job, from *device, cause error) {
-	d, err := s.route(j.kernel, from, j.size())
-	if err != nil {
-		mFailed.Add(uint64(len(j.futs)))
-		for _, f := range j.futs {
-			mJob.Since(j.submitAt)
-			f.resolve(nil, fmt.Errorf("sched: retry %d dead-ended (%v): %w", j.attempts, err, cause))
+	for {
+		d, _, err := s.route(j.kernel, from)
+		if err != nil {
+			mFailed.Add(uint64(j.size()))
+			j.fail(fmt.Errorf("sched: retry %d dead-ended (%v): %w", j.attempts, err, cause))
+			return
 		}
-		return
+		if d.enqueue(j, true) == pushOK {
+			return
+		}
+		// The chosen queue closed or began draining underneath us; routing
+		// no longer returns it, so the next round picks someone else (or
+		// dead-ends).
 	}
-	j.enqueueAt = time.Now()
-	go func() {
-		d.jobs <- j
-		d.senders.Done()
-	}()
 }
 
 // Submit queues a plaintext workload (the local data-owner path, like
-// System.RunJob) and returns a future for its result.
+// System.RunJob) at ClassStandard with no deadline and returns a future
+// for its result.
 func (s *Scheduler) Submit(w accel.Workload) *Future {
+	return s.SubmitOpts(w, SubmitOptions{Class: ClassStandard})
+}
+
+// SubmitOpts is Submit with an explicit QoS contract.
+func (s *Scheduler) SubmitOpts(w accel.Workload, opt SubmitOptions) *Future {
 	if w.Kernel == nil {
 		return errFuture(fmt.Errorf("sched: workload has no kernel"))
 	}
-	return s.submit(&job{kernel: w.Kernel.Name(), w: w})
+	j := &job{kernel: w.Kernel.Name(), w: w}
+	j.applyOptions(opt)
+	return s.submit(j)
 }
 
 // SubmitSealed queues a sealed job (the remote data-owner path, like
-// System.RunJobSealed). The pool must share one data key — see BootShared
-// — or the job will only decrypt on the device it was sealed for.
+// System.RunJobSealed) at ClassStandard with no deadline. The pool must
+// share one data key — see BootShared — or the job will only decrypt on
+// the device it was sealed for.
 func (s *Scheduler) SubmitSealed(kernelName string, params [4]uint64, sealedInput []byte) *Future {
-	return s.submit(&job{
+	return s.SubmitSealedOpts(kernelName, params, sealedInput, SubmitOptions{Class: ClassStandard})
+}
+
+// SubmitSealedOpts is SubmitSealed with an explicit QoS contract.
+func (s *Scheduler) SubmitSealedOpts(kernelName string, params [4]uint64, sealedInput []byte, opt SubmitOptions) *Future {
+	j := &job{
 		kernel:      kernelName,
 		sealed:      true,
 		params:      params,
 		sealedInput: sealedInput,
-	})
+	}
+	j.applyOptions(opt)
+	return s.submit(j)
+}
+
+// applyOptions stamps the job's QoS fields from opt.
+func (j *job) applyOptions(opt SubmitOptions) {
+	j.class = opt.Class.clamp()
+	j.deadline = opt.Deadline
+	if opt.Deadline.IsZero() {
+		j.deadlineNs = math.MaxInt64
+	} else {
+		j.deadlineNs = opt.Deadline.UnixNano()
+	}
 }
 
 // SubmitBatch queues a batch of plaintext workloads as a first-class unit:
@@ -860,8 +1009,15 @@ func (s *Scheduler) SubmitSealed(kernelName string, params [4]uint64, sealedInpu
 // per chunk, pipelined DMA — instead of paying per-job round trips. The
 // returned futures are index-aligned with ws and each resolves exactly
 // once. Workloads with different kernels are grouped into one batch per
-// kernel.
+// kernel. The batch rides at ClassStandard; use SubmitBatchOpts for an
+// explicit class or deadline.
 func (s *Scheduler) SubmitBatch(ws []accel.Workload) []*Future {
+	return s.SubmitBatchOpts(ws, SubmitOptions{Class: ClassStandard})
+}
+
+// SubmitBatchOpts is SubmitBatch with one QoS contract covering every
+// job in the batch.
+func (s *Scheduler) SubmitBatchOpts(ws []accel.Workload, opt SubmitOptions) []*Future {
 	futs := make([]*Future, len(ws))
 	groups := make(map[string][]int)
 	var order []string
@@ -889,15 +1045,22 @@ func (s *Scheduler) SubmitBatch(ws []accel.Workload) []*Future {
 			j.ws[k] = ws[i]
 			j.futs[k] = futs[i]
 		}
+		j.applyOptions(opt)
 		s.submitBatch(j)
 	}
 	return futs
 }
 
 // SubmitSealedBatch queues a batch of sealed jobs for one kernel (the
-// remote data-owner path, like System.RunJobSealedBatch). The returned
-// futures are index-aligned with jobs.
+// remote data-owner path, like System.RunJobSealedBatch) at
+// ClassStandard. The returned futures are index-aligned with jobs.
 func (s *Scheduler) SubmitSealedBatch(kernelName string, jobs []core.SealedJob) []*Future {
+	return s.SubmitSealedBatchOpts(kernelName, jobs, SubmitOptions{Class: ClassStandard})
+}
+
+// SubmitSealedBatchOpts is SubmitSealedBatch with one QoS contract
+// covering every job in the batch.
+func (s *Scheduler) SubmitSealedBatchOpts(kernelName string, jobs []core.SealedJob, opt SubmitOptions) []*Future {
 	futs := make([]*Future, len(jobs))
 	for i := range futs {
 		futs[i] = &Future{done: make(chan struct{})}
@@ -905,13 +1068,15 @@ func (s *Scheduler) SubmitSealedBatch(kernelName string, jobs []core.SealedJob) 
 	if len(jobs) == 0 {
 		return futs
 	}
-	s.submitBatch(&job{
+	j := &job{
 		kernel:     kernelName,
 		batch:      true,
 		sealed:     true,
 		sealedJobs: append([]core.SealedJob(nil), jobs...),
 		futs:       futs,
-	})
+	}
+	j.applyOptions(opt)
+	s.submitBatch(j)
 	return futs
 }
 
@@ -925,6 +1090,9 @@ type DeviceStats struct {
 	// Retried counts jobs this device faulted that were re-dispatched
 	// elsewhere (they appear in Failed too).
 	Retried uint64
+	// Shed counts jobs dropped at pickup because their deadline had
+	// already passed (they appear in Failed too).
+	Shed uint64
 	// Quarantined reports whether the device's circuit breaker is
 	// currently open; ConsecutiveFaults is its running fault streak.
 	Quarantined       bool
@@ -954,6 +1122,7 @@ func (s *Scheduler) Stats() []DeviceStats {
 			Completed:         d.completed.Load(),
 			Failed:            d.failed.Load(),
 			Retried:           d.retried.Load(),
+			Shed:              d.shed.Load(),
 			Quarantined:       quarantined,
 			ConsecutiveFaults: faults,
 			Backoff:           backoff,
@@ -967,7 +1136,7 @@ func (s *Scheduler) Stats() []DeviceStats {
 // Close stops accepting jobs, drains every queue, and waits for the
 // workers. Already-queued jobs still run; their futures resolve. A job
 // that faults during shutdown resolves with its error instead of
-// retrying.
+// retrying; blocked admissions resolve with ErrSchedulerClosed.
 func (s *Scheduler) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -977,9 +1146,9 @@ func (s *Scheduler) Close() {
 	s.closed = true
 	devices := s.devices
 	s.mu.Unlock()
+	close(s.done)
 	for _, d := range devices {
-		d.senders.Wait() // reserved sends finish (workers are still draining)
-		d.closeJobs()
+		d.q.close()
 	}
 	s.wg.Wait()
 }
