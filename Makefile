@@ -6,7 +6,7 @@ GO ?= go
 COVER_PKGS = salus/internal/metrics salus/internal/sched salus/internal/fleet
 COVER_FLOOR = 75
 
-.PHONY: all build test vet race tier1 ci cover cover-check fmt-check bench bench-smoke bench-sched bench-sched-gate bench-overload bench-degraded bench-fleet bench-metrics clean
+.PHONY: all build test vet lint race tier1 ci cover cover-check fmt-check bench bench-smoke bench-sched bench-sched-gate bench-overload bench-degraded bench-fleet bench-metrics clean
 
 all: build test
 
@@ -18,6 +18,13 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Domain-specific invariants go vet cannot see: constant-time auth
+# compares, no blocking under a held mutex, gauge pairing, errors.Is
+# discipline, the sealed host<->CL boundary, and test-sleep hygiene.
+# Suppressions require an in-source reason (see cmd/salus-vet).
+lint:
+	$(GO) run ./cmd/salus-vet ./...
 
 # Full race-detector sweep: vet first so obvious mistakes fail fast.
 race:
@@ -53,7 +60,7 @@ cover-check:
 # The one-stop verification entry point: formatting, vet, the tier-1 gate,
 # the coverage floor on the observability-critical packages, a full-repo
 # race sweep, and the metrics hot-path budget.
-ci: fmt-check vet
+ci: fmt-check vet lint
 	$(GO) build ./... && $(GO) test ./...
 	$(MAKE) cover-check
 	$(GO) test -race ./...

@@ -1,0 +1,128 @@
+// Command salus-vet runs the Salus domain-specific static-analysis
+// suite (internal/lint): the security and concurrency invariants the
+// compiler cannot check — constant-time authentication compares,
+// no blocking under a held mutex, gauge increment/decrement pairing,
+// errors.Is discipline, the sealed host↔CL boundary, and the no-sleep
+// test discipline.
+//
+// Usage:
+//
+//	salus-vet [-json] [-rules ct-compare,...] [-v] [path ...]
+//
+// Paths default to the current directory and are walked recursively
+// ("./..." is accepted and means the same). Exit status is 1 when any
+// unsuppressed finding remains, 2 on usage or load errors.
+//
+// Findings are suppressed in source with
+//
+//	//lint:allow <rule> <reason>
+//
+// on the offending line or the line above; the reason is mandatory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"salus/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("salus-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (machine-readable, includes suppressed findings)")
+	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	verbose := fs.Bool("v", false, "also print suppressed findings with their reasons")
+	list := fs.Bool("list", false, "list the rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *rules != "" {
+		want := map[string]bool{}
+		for _, r := range strings.Split(*rules, ",") {
+			want[strings.TrimSpace(r)] = true
+		}
+		var picked []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				picked = append(picked, a)
+				delete(want, a.Name)
+			}
+		}
+		for r := range want {
+			fmt.Fprintf(stderr, "salus-vet: unknown rule %q (use -list)\n", r)
+			return 2
+		}
+		analyzers = picked
+	}
+
+	roots := fs.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	// Annotation validation always knows the full rule set, so a
+	// -rules subset run never misflags allows for the other rules.
+	known := lint.Names(lint.All())
+	var pkgs []*lint.Package
+	for _, root := range roots {
+		root = strings.TrimSuffix(root, "...")
+		root = strings.TrimSuffix(root, "/")
+		if root == "" {
+			root = "."
+		}
+		p, err := lint.LoadTree(root, known)
+		if err != nil {
+			fmt.Fprintf(stderr, "salus-vet: %v\n", err)
+			return 2
+		}
+		pkgs = append(pkgs, p...)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	unsuppressed := lint.Unsuppressed(diags)
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "salus-vet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			if d.Suppressed {
+				if *verbose {
+					fmt.Fprintf(stdout, "%s [suppressed: %s]\n", d, d.Reason)
+				}
+				continue
+			}
+			fmt.Fprintln(stdout, d.String())
+		}
+		if len(unsuppressed) > 0 {
+			fmt.Fprintf(stdout, "salus-vet: %d finding(s)\n", len(unsuppressed))
+		}
+	}
+	if len(unsuppressed) > 0 {
+		return 1
+	}
+	return 0
+}

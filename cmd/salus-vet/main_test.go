@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"salus/internal/lint"
+)
+
+// writeTree drops a small module-less source tree with one known
+// finding and one suppressed finding.
+func writeTree(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	src := `package p
+
+import "errors"
+
+var ErrX = errors.New("x")
+
+func f(err error) bool {
+	if err == ErrX { // the finding
+		return true
+	}
+	//lint:allow sentinel-errors pinned: this path never wraps
+	return err != ErrX
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestVetExitCodeAndText(t *testing.T) {
+	dir := writeTree(t)
+	var out, errb bytes.Buffer
+	code := run([]string{dir}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "sentinel-errors") || !strings.Contains(out.String(), "a.go:8") {
+		t.Fatalf("text output missing the finding:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "never wraps") {
+		t.Fatalf("suppressed finding leaked into default output:\n%s", out.String())
+	}
+}
+
+func TestVetJSONIncludesSuppressed(t *testing.T) {
+	dir := writeTree(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", dir}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not a diagnostic array: %v\n%s", err, out.String())
+	}
+	var open, suppressed int
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+			if d.Reason == "" {
+				t.Errorf("suppressed JSON finding lost its reason: %+v", d)
+			}
+		} else {
+			open++
+		}
+	}
+	if open != 1 || suppressed != 1 {
+		t.Fatalf("got %d open + %d suppressed findings, want 1 + 1:\n%s", open, suppressed, out.String())
+	}
+}
+
+func TestVetCleanTreeExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte("package p\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{dir}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d on a clean tree; out: %s", code, out.String())
+	}
+}
+
+func TestVetRuleFilterAndList(t *testing.T) {
+	dir := writeTree(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-rules", "ct-compare", dir}, &out, &errb); code != 0 {
+		t.Fatalf("filtered run found something unexpected: %s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatal("list failed")
+	}
+	for _, name := range lint.Names(lint.All()) {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list missing rule %s", name)
+		}
+	}
+	if code := run([]string{"-rules", "no-such-rule", dir}, &out, &errb); code != 2 {
+		t.Fatalf("unknown rule: exit = %d, want 2", code)
+	}
+}

@@ -152,6 +152,7 @@ func TestStartAutoscaleBackgroundLoop(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatal("autoscaler never grew the fleet under sustained backlog")
 		}
+		//lint:allow test-sleep poll interval inside a deadline-bounded autoscale loop; the sleep only paces membership checks
 		time.Sleep(5 * time.Millisecond)
 	}
 	for i, f := range futs {

@@ -293,6 +293,7 @@ func TestAutoReplacePermanentlyQuarantinedBoard(t *testing.T) {
 			t.Fatal("breaker never latched permanently")
 		}
 		runJob(t, m, 1) // redispatch keeps every job alive while ELAS-00 dies
+		//lint:allow test-sleep poll interval inside a deadline-bounded breaker-latch loop; the sleep only paces probe jobs
 		time.Sleep(2 * time.Millisecond)
 	}
 
@@ -366,6 +367,7 @@ func TestStartAutoReplaceBackgroundLoop(t *testing.T) {
 			t.Fatal("background loop never replaced the dead board")
 		}
 		runJob(t, m, 1)
+		//lint:allow test-sleep poll interval inside a deadline-bounded replacement loop; the sleep only paces probe jobs
 		time.Sleep(2 * time.Millisecond)
 	}
 	if got := len(m.Members()); got != 2 {

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Words that mark a value as authentication material under the Salus
+// threat model: MAC/CMAC/HMAC tags, digests and fingerprints of key
+// material or bitstreams, attestation quotes. Comparing any of these
+// with a short-circuiting byte compare leaks the match length to a
+// timing observer — the attack surface §5 of the paper closes by
+// putting verification inside the shield.
+var ctSensitive = map[string]bool{
+	"mac": true, "hmac": true, "cmac": true,
+	"digest": true, "fingerprint": true, "fp": true,
+	"quote": true,
+}
+
+// Additional words that are sensitive when they name []byte values
+// (bytes.Equal operands). For scalar == these words are too common in
+// benign roles (frame-type tags, counter nonces) to flag.
+var ctSensitiveBytes = map[string]bool{
+	"tag": true, "nonce": true, "sum": true,
+}
+
+// CTCompare is the ct-compare rule: comparisons of MACs, tags, digests,
+// quotes and key fingerprints must go through
+// cryptoutil.ConstantTimeEqual / subtle.ConstantTimeCompare, never
+// bytes.Equal or ==/!= on byte sequences.
+var CTCompare = &Analyzer{
+	Name: "ct-compare",
+	Doc:  "MAC/quote/digest/fingerprint compares must be constant-time (cryptoutil.ConstantTimeEqual), not bytes.Equal or ==",
+	Run:  runCTCompare,
+}
+
+func runCTCompare(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if f.IsTest {
+			// Test assertions on tags are not an attacker-observable
+			// timing surface.
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if IsPkgCall(f, n, "bytes", "Equal") && len(n.Args) == 2 {
+					for _, arg := range n.Args {
+						name := exprName(arg)
+						if hasWord(name, ctSensitive) || hasWord(name, ctSensitiveBytes) {
+							pass.Report(n, "bytes.Equal on %q short-circuits on the first differing byte; use cryptoutil.ConstantTimeEqual for authentication material", name)
+							break
+						}
+					}
+				}
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isLiteralish(n.X) || isLiteralish(n.Y) {
+					return true // comparing against a public constant
+				}
+				// A word-sized scalar compare is a single instruction and
+				// already constant-time; only byte sequences leak.
+				if isScalarType(pass.TypeOf(n.X)) || isScalarType(pass.TypeOf(n.Y)) {
+					return true
+				}
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					if hasWord(exprName(side), ctSensitive) {
+						pass.Report(n, "%s on %q may compare authentication material non-constant-time; use cryptoutil.ConstantTimeEqual (or annotate if this is a scalar or non-secret compare)", n.Op, exprName(side))
+						return true
+					}
+				}
+			}
+			return true
+		})
+	}
+}

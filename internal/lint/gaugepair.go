@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// GaugePairing is the gauge-pairing rule: a metrics.Gauge that is ever
+// incremented must also be drained — a reachable Add with a negated
+// argument, or a Set that re-bases the level. A gauge with increments
+// and no drain reports a level that can only ratchet upward, the PR 7
+// queue-depth bug class (enqueue ticked the gauge, one dequeue path
+// forgot the matching decrement, and "queue depth" crept forever).
+var GaugePairing = &Analyzer{
+	Name: "gauge-pairing",
+	Doc:  "every metrics.Gauge increment needs a matching decrement or Set drain in the package",
+	Run:  runGaugePairing,
+}
+
+type gaugeUse struct {
+	firstInc ast.Node
+	incs     int
+	decs     int
+	sets     int
+}
+
+func runGaugePairing(pass *Pass) {
+	// Gauge variables are recognised by construction: any assignment or
+	// declaration whose right-hand side is a *.Gauge("name") call.
+	gauges := map[string]*gaugeUse{}
+	for _, f := range pass.Pkg.Files {
+		if f.IsTest {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ValueSpec:
+				for i, v := range n.Values {
+					if isGaugeCtor(v) && i < len(n.Names) {
+						gauges[n.Names[i].Name] = &gaugeUse{}
+					}
+				}
+			case *ast.AssignStmt:
+				for i, v := range n.Rhs {
+					if isGaugeCtor(v) && i < len(n.Lhs) {
+						if name := exprName(n.Lhs[i]); name != "" {
+							gauges[name] = &gaugeUse{}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(gauges) == 0 {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if f.IsTest {
+			// Test-only churn neither satisfies nor violates the
+			// production pairing invariant.
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			g, tracked := gauges[exprName(sel.X)]
+			if !tracked {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Add":
+				if len(call.Args) == 1 && isNegative(call.Args[0]) {
+					g.decs++
+				} else {
+					g.incs++
+					if g.firstInc == nil {
+						g.firstInc = call
+					}
+				}
+			case "Set":
+				g.sets++
+			}
+			return true
+		})
+	}
+	// Iteration order does not matter: Run sorts diagnostics by position.
+	for _, g := range gauges {
+		if g.incs > 0 && g.decs == 0 && g.sets == 0 {
+			pass.Report(g.firstInc, "gauge is incremented here but never decremented or Set anywhere in the package: the level can only ratchet upward (PR 7 queue-depth bug class); add the paired Add(-n) on every drain path")
+		}
+	}
+}
+
+// isGaugeCtor matches reg.Gauge("name") / metrics.Default().Gauge(...).
+func isGaugeCtor(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	return ok && calleeName(call) == "Gauge"
+}
+
+// isNegative reports whether the Add argument is a syntactic decrement:
+// a unary minus or a negative literal.
+func isNegative(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return isNegative(e.X)
+	case *ast.UnaryExpr:
+		return e.Op == token.SUB
+	case *ast.BasicLit:
+		return strings.HasPrefix(e.Value, "-")
+	}
+	return false
+}

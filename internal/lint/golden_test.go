@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts golden expectations:  // want "regexp"
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// loadExpectations scans every file of a testdata package for // want
+// comments.
+func loadExpectations(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, m[1], err)
+				}
+				out = append(out, &expectation{file: path, line: i + 1, pattern: re})
+			}
+		}
+	}
+	return out
+}
+
+// runGolden runs one analyzer over its testdata package and requires an
+// exact match between diagnostics and // want comments: every want must
+// fire and every unsuppressed diagnostic must be wanted. A rule that
+// goes silent (or noisy) fails its golden test.
+func runGolden(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	pkg, err := LoadDir(dir, Names(All()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg == nil {
+		t.Fatalf("no Go files in %s", dir)
+	}
+	wants := loadExpectations(t, dir)
+	diags := Run([]*Package{pkg}, []*Analyzer{a})
+
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.File && w.line == d.Line && w.pattern.MatchString(d.Msg) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: want %q never reported", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func TestCTCompareGolden(t *testing.T)   { runGolden(t, CTCompare, "testdata/ctcompare") }
+func TestLockBlockGolden(t *testing.T)   { runGolden(t, LockAcrossBlock, "testdata/lockblock") }
+func TestGaugePairGolden(t *testing.T)   { runGolden(t, GaugePairing, "testdata/gaugepair") }
+func TestSentinelGolden(t *testing.T)    { runGolden(t, SentinelErrors, "testdata/sentinel") }
+func TestSealedBoundGolden(t *testing.T) { runGolden(t, SealedBoundary, "testdata/sealedbound") }
+func TestTestSleepGolden(t *testing.T)   { runGolden(t, TestSleep, "testdata/testsleep") }
+
+// TestSuiteIsComplete pins the rule roster: removing an analyzer from
+// All() (or renaming one) is a deliberate, test-visible act.
+func TestSuiteIsComplete(t *testing.T) {
+	want := []string{
+		"ct-compare",
+		"lock-across-block",
+		"gauge-pairing",
+		"sentinel-errors",
+		"sealed-boundary",
+		"test-sleep",
+	}
+	got := Names(All())
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("analyzer roster drifted:\n got %v\nwant %v", got, want)
+	}
+}

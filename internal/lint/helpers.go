@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"unicode"
+)
+
+// words splits an identifier into lowercase words on camelCase and
+// underscore boundaries: "provFP" → ["prov","fp"], "boot_nonce" →
+// ["boot","nonce"], "AttestMACReq" → ["attest","mac","req"].
+func words(ident string) []string {
+	var out []string
+	var cur []rune
+	flush := func() {
+		if len(cur) > 0 {
+			out = append(out, strings.ToLower(string(cur)))
+			cur = nil
+		}
+	}
+	runes := []rune(ident)
+	for i, r := range runes {
+		switch {
+		case r == '_':
+			flush()
+		case unicode.IsUpper(r):
+			// Boundary at lower→Upper and at the last upper of an
+			// acronym run (MACReq → MAC | Req).
+			if i > 0 && (unicode.IsLower(runes[i-1]) || unicode.IsDigit(runes[i-1])) {
+				flush()
+			} else if i > 0 && unicode.IsUpper(runes[i-1]) && i+1 < len(runes) && unicode.IsLower(runes[i+1]) {
+				flush()
+			}
+			cur = append(cur, r)
+		default:
+			cur = append(cur, r)
+		}
+	}
+	flush()
+	return out
+}
+
+// hasWord reports whether any word of ident is in set.
+func hasWord(ident string, set map[string]bool) bool {
+	for _, w := range words(ident) {
+		if set[w] {
+			return true
+		}
+	}
+	return false
+}
+
+// exprName returns the most specific identifier naming the value an
+// expression denotes: the selector field for x.Sel, the callee for
+// calls, the base for index/slice expressions.
+func exprName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.CallExpr:
+		// Conversions (string(fp), []byte(tag)) rename nothing: the
+		// value is still the argument's. Named calls keep the callee.
+		if len(e.Args) == 1 {
+			if _, ok := e.Fun.(*ast.ArrayType); ok {
+				return exprName(e.Args[0])
+			}
+			if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "string" {
+				return exprName(e.Args[0])
+			}
+		}
+		return exprName(e.Fun)
+	case *ast.IndexExpr:
+		return exprName(e.X)
+	case *ast.SliceExpr:
+		return exprName(e.X)
+	case *ast.ParenExpr:
+		return exprName(e.X)
+	case *ast.StarExpr:
+		return exprName(e.X)
+	case *ast.UnaryExpr:
+		return exprName(e.X)
+	}
+	return ""
+}
+
+// calleeName returns the bare name of a call's callee ("Equal" for
+// bytes.Equal(...), "foo" for foo(...)), or "".
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// isLiteralish reports whether e is a constant-like operand: a basic
+// literal, nil/true/false/iota, or a negated literal.
+func isLiteralish(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		return e.Name == "nil" || e.Name == "true" || e.Name == "false" || e.Name == "iota"
+	case *ast.UnaryExpr:
+		return isLiteralish(e.X)
+	case *ast.ParenExpr:
+		return isLiteralish(e.X)
+	}
+	return false
+}
+
+// isScalarType reports whether t (best-effort) is a word-sized scalar —
+// integer, float, bool, pointer — whose == already executes in constant
+// time.
+func isScalarType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsNumeric|types.IsBoolean) != 0
+	case *types.Pointer, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// funcBodies yields every function-like body in the file — FuncDecl
+// bodies and FuncLit bodies — each exactly once, with a printable name.
+// Nested FuncLits are yielded separately and must not be re-walked by
+// flow-sensitive analyses of the enclosing body.
+func funcBodies(f *File, visit func(name string, body *ast.BlockStmt)) {
+	for _, decl := range f.AST.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		visit(fd.Name.Name, fd.Body)
+	}
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != nil {
+			visit("func literal", fl.Body)
+		}
+		return true
+	})
+}
+
+// inspectShallow walks body in source order but does not descend into
+// nested function literals (their statements run on another goroutine
+// or at another time, so flow facts do not transfer).
+func inspectShallow(body *ast.BlockStmt, visit func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return visit(n)
+	})
+}

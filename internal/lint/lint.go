@@ -1,0 +1,378 @@
+// Package lint is salus-vet's analyzer driver: a dependency-free
+// (stdlib go/ast + go/parser + go/types only) static-analysis framework
+// that mechanically enforces the TEE's security and concurrency
+// invariants — the properties the Go compiler cannot see but the Salus
+// threat model depends on. Each invariant that has already cost us a
+// hand-fixed bug (the PR 2 lock-across-send, the PR 7 gauge pairing)
+// or that the paper's shield layer assumes (constant-time MAC/quote
+// compares, no plaintext across the host↔CL boundary) is encoded once
+// as an Analyzer and gated in CI forever.
+//
+// Deliberate exceptions are annotated in the source with
+//
+//	//lint:allow <rule> <reason>
+//
+// where the reason string is mandatory: a suppression without a reason
+// is itself a diagnostic. The annotation applies to findings on its own
+// line or on the line directly below it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named rule. Run inspects a loaded package and reports
+// findings through the Pass.
+type Analyzer struct {
+	// Name is the rule name used in diagnostics and //lint:allow
+	// annotations, e.g. "ct-compare".
+	Name string
+	// Doc is a one-line description of the enforced invariant.
+	Doc string
+	// Run inspects pass.Pkg and calls pass.Report for each finding.
+	Run func(pass *Pass)
+}
+
+// Diagnostic is one finding, attributed to a rule and a source position.
+type Diagnostic struct {
+	Rule string         `json:"rule"`
+	Pos  token.Position `json:"-"`
+	File string         `json:"file"`
+	Line int            `json:"line"`
+	Col  int            `json:"col"`
+	Msg  string         `json:"message"`
+	// Suppressed is true when an in-source //lint:allow annotation with a
+	// reason covers this finding; Reason carries that justification.
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Msg)
+}
+
+// File is one parsed source file plus the metadata the analyzers need:
+// its import table (local name → path, so selector matching survives
+// aliased imports) and its suppression annotations by line.
+type File struct {
+	AST    *ast.File
+	Name   string // path as given to the loader
+	IsTest bool   // strings.HasSuffix(base, "_test.go")
+
+	imports map[string]string // local identifier → import path
+	allows  map[int][]allow   // line → annotations on that line
+	bad     []Diagnostic      // malformed //lint:allow annotations
+}
+
+// annotationErrors returns the malformed-annotation findings recorded
+// while parsing f.
+func (f *File) annotationErrors() []Diagnostic { return f.bad }
+
+type allow struct {
+	rules  []string
+	reason string
+	pos    token.Position
+}
+
+// ImportPath resolves a file-local package identifier (e.g. "bytes",
+// or an alias) to its import path; "" when ident is not an import.
+func (f *File) ImportPath(name string) string { return f.imports[name] }
+
+// Package is one directory's worth of parsed files. Test files of both
+// the in-package and external _test variants are included; analyzers
+// choose per-file whether test code is in scope.
+type Package struct {
+	Fset  *token.FileSet
+	Dir   string
+	Name  string // package name of the first non-test file
+	Files []*File
+
+	// Info is best-effort type information: packages are type-checked
+	// standalone with stub imports and all errors ignored, so locally
+	// declared types resolve while cross-package ones may not. Rules are
+	// defined syntactically first and use Info only to sharpen verdicts
+	// (e.g. skipping constant-time findings on plain integer compares).
+	Info *types.Info
+}
+
+// Pass is the per-(analyzer, package) context handed to Analyzer.Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Report records a finding at n's position, applying any covering
+// //lint:allow annotation.
+func (p *Pass) Report(n ast.Node, format string, args ...any) {
+	pos := p.Pkg.Fset.Position(n.Pos())
+	d := Diagnostic{
+		Rule: p.Analyzer.Name,
+		Pos:  pos,
+		File: pos.Filename,
+		Line: pos.Line,
+		Col:  pos.Column,
+		Msg:  fmt.Sprintf(format, args...),
+	}
+	if f := p.fileFor(pos.Filename); f != nil {
+		if a, ok := f.allowFor(pos.Line, p.Analyzer.Name); ok {
+			d.Suppressed = true
+			d.Reason = a.reason
+		}
+	}
+	*p.diags = append(*p.diags, d)
+}
+
+func (p *Pass) fileFor(name string) *File {
+	for _, f := range p.Pkg.Files {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// allowFor reports whether an annotation for rule covers a finding on
+// line: the annotation may sit on the finding's own line (trailing
+// comment) or on the line directly above it.
+func (f *File) allowFor(line int, rule string) (allow, bool) {
+	for _, l := range []int{line, line - 1} {
+		for _, a := range f.allows[l] {
+			for _, r := range a.rules {
+				if r == rule {
+					return a, true
+				}
+			}
+		}
+	}
+	return allow{}, false
+}
+
+// TypeOf returns the best-effort type of e, or nil when the standalone
+// type-check could not resolve it.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Pkg.Info == nil {
+		return nil
+	}
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// IsPkgCall reports whether call is a selector call pkg.fn where the
+// receiver identifier resolves, through f's import table, to the given
+// import path (so aliased imports still match and shadowed identifiers
+// mostly don't).
+func IsPkgCall(f *File, call *ast.CallExpr, path, fn string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != fn {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && f.ImportPath(id.Name) == path
+}
+
+// ---- loading ----
+
+// LoadDir parses every .go file directly inside dir into one Package.
+// Parse errors are returned; analyzers require syntactically valid
+// input but never a successful build.
+func LoadDir(dir string, known []string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil
+	}
+	pkg := &Package{Fset: token.NewFileSet(), Dir: dir}
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		af, err := parser.ParseFile(pkg.Fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		f := &File{
+			AST:     af,
+			Name:    path,
+			IsTest:  strings.HasSuffix(name, "_test.go"),
+			imports: importTable(af),
+		}
+		f.allows, f.bad = parseAllows(pkg.Fset, af, known)
+		pkg.Files = append(pkg.Files, f)
+		if pkg.Name == "" && !f.IsTest {
+			pkg.Name = af.Name.Name
+		}
+	}
+	if pkg.Name == "" {
+		pkg.Name = pkg.Files[0].AST.Name.Name
+	}
+	pkg.typeCheck()
+	return pkg, nil
+}
+
+// typeCheck runs a standalone, error-tolerant type-check over the
+// package's non-test files with stub imports, filling Info with
+// whatever resolves. It never fails: missing type facts only make
+// rules fall back to their syntactic heuristics.
+func (p *Package) typeCheck() {
+	var files []*ast.File
+	for _, f := range p.Files {
+		if !f.IsTest && f.AST.Name.Name == p.Name {
+			files = append(files, f.AST)
+		}
+	}
+	if len(files) == 0 {
+		return
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{
+		Error:    func(error) {}, // best-effort: partial info is fine
+		Importer: stubImporter{},
+	}
+	// Check always reports errors here (stub imports); ignore them.
+	_, _ = conf.Check(p.Name, p.Fset, files, info)
+	p.Info = info
+}
+
+// stubImporter satisfies every import with an empty placeholder package
+// so the checker can proceed; cross-package types stay unresolved.
+type stubImporter struct{}
+
+func (stubImporter) Import(path string) (*types.Package, error) {
+	name := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		name = path[i+1:]
+	}
+	pkg := types.NewPackage(path, name)
+	pkg.MarkComplete()
+	return pkg, nil
+}
+
+func importTable(f *ast.File) map[string]string {
+	m := make(map[string]string, len(f.Imports))
+	for _, im := range f.Imports {
+		path := strings.Trim(im.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			name = path[i+1:]
+		}
+		if im.Name != nil {
+			name = im.Name.Name
+		}
+		if name == "_" || name == "." {
+			continue
+		}
+		m[name] = path
+	}
+	return m
+}
+
+// skipDir names directory entries the tree walker never descends into.
+func skipDir(name string) bool {
+	return name == "testdata" || name == ".git" || strings.HasPrefix(name, ".") || name == "vendor"
+}
+
+// LoadTree loads every package under root (skipping testdata, vendor
+// and dot-directories).
+func LoadTree(root string, known []string) ([]*Package, error) {
+	var pkgs []*Package
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if path != root && skipDir(d.Name()) {
+			return filepath.SkipDir
+		}
+		pkg, err := LoadDir(path, known)
+		if err != nil {
+			return fmt.Errorf("lint: %s: %w", path, err)
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+		return nil
+	})
+	return pkgs, err
+}
+
+// ---- running ----
+
+// Run applies every analyzer to every package and returns all
+// diagnostics (suppressed ones included, marked) sorted by position,
+// plus the malformed-annotation findings from parsing.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			diags = append(diags, f.annotationErrors()...)
+		}
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].File != diags[j].File {
+			return diags[i].File < diags[j].File
+		}
+		if diags[i].Line != diags[j].Line {
+			return diags[i].Line < diags[j].Line
+		}
+		return diags[i].Col < diags[j].Col
+	})
+	return diags
+}
+
+// Unsuppressed filters diags down to the findings that fail the build.
+func Unsuppressed(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		CTCompare,
+		LockAcrossBlock,
+		GaugePairing,
+		SentinelErrors,
+		SealedBoundary,
+		TestSleep,
+	}
+}
+
+// Names returns the rule names of analyzers, for annotation validation.
+func Names(analyzers []*Analyzer) []string {
+	out := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		out[i] = a.Name
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockAcrossBlock is the lock-across-block rule: no channel send or
+// receive, select without default, Future/WaitGroup Wait, rpc Call, or
+// time.Sleep may execute while a sync.Mutex/RWMutex is held. Holding a
+// lock across a blocking operation couples the lock's critical section
+// to the progress of another goroutine — the exact deadlock/stall class
+// fixed by hand in PR 2 (Submit held mu.RLock across a blocking queue
+// send) and that multi-tenant scheduling will multiply.
+var LockAcrossBlock = &Analyzer{
+	Name: "lock-across-block",
+	Doc:  "no channel op, select, Wait, rpc Call, or time.Sleep while a mutex is held",
+	Run:  runLockAcrossBlock,
+}
+
+type lockEvent struct {
+	pos  token.Pos
+	kind int // 0 lock, 1 unlock, 2 blocking
+	key  string
+	desc string
+	node ast.Node
+}
+
+const (
+	evLock = iota
+	evUnlock
+	evBlock
+)
+
+func runLockAcrossBlock(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		file := f
+		funcBodies(f, func(name string, body *ast.BlockStmt) {
+			checkBody(pass, file, body)
+		})
+	}
+}
+
+// lockMethod classifies a call as a mutex acquire/release by method
+// name. The key is the printed receiver expression, so s.mu and d.mu
+// track independently.
+func lockMethod(call *ast.CallExpr) (key string, acquire, release bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), true, false
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), false, true
+	}
+	return "", false, false
+}
+
+// blockingCall classifies calls that park the goroutine: rpc Call,
+// Future/WaitGroup Wait(+Timeout), and time.Sleep.
+func blockingCall(f *File, call *ast.CallExpr) (string, bool) {
+	if IsPkgCall(f, call, "time", "Sleep") {
+		return "time.Sleep", true
+	}
+	switch calleeName(call) {
+	case "Call":
+		if _, ok := call.Fun.(*ast.SelectorExpr); ok {
+			return "rpc Call", true
+		}
+	case "Wait", "WaitTimeout":
+		if _, ok := call.Fun.(*ast.SelectorExpr); ok {
+			return calleeName(call) + "()", true
+		}
+	}
+	return "", false
+}
+
+func checkBody(pass *Pass, f *File, body *ast.BlockStmt) {
+	var events []lockEvent
+	// Comm statements of select clauses are accounted for by the select
+	// itself (blocking only without a default clause).
+	selectComms := map[ast.Node]bool{}
+
+	inspectShallow(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held for the rest of the
+			// body (release only happens on return), so it is deliberately
+			// NOT an unlock event. Nothing inside a defer runs now.
+			return false
+		case *ast.SelectStmt:
+			blocking := true
+			for _, cl := range n.Body.List {
+				cc := cl.(*ast.CommClause)
+				if cc.Comm == nil {
+					blocking = false // default clause
+				} else {
+					selectComms[cc.Comm] = true
+					// An assign/expr comm clause wraps the receive.
+					switch c := cc.Comm.(type) {
+					case *ast.AssignStmt:
+						for _, r := range c.Rhs {
+							selectComms[unparen(r)] = true
+						}
+					case *ast.ExprStmt:
+						selectComms[unparen(c.X)] = true
+					}
+				}
+			}
+			if blocking {
+				events = append(events, lockEvent{pos: n.Pos(), kind: evBlock, desc: "select without default", node: n})
+			}
+		case *ast.SendStmt:
+			if !selectComms[n] {
+				events = append(events, lockEvent{pos: n.Pos(), kind: evBlock, desc: "channel send", node: n})
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !selectComms[n] {
+				events = append(events, lockEvent{pos: n.Pos(), kind: evBlock, desc: "channel receive", node: n})
+			}
+		case *ast.CallExpr:
+			if key, acq, rel := lockMethod(n); acq {
+				events = append(events, lockEvent{pos: n.Pos(), kind: evLock, key: key, node: n})
+			} else if rel {
+				events = append(events, lockEvent{pos: n.Pos(), kind: evUnlock, key: key, node: n})
+			} else if desc, ok := blockingCall(f, n); ok {
+				events = append(events, lockEvent{pos: n.Pos(), kind: evBlock, desc: desc, node: n})
+			}
+		}
+		return true
+	})
+
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	held := map[string]token.Position{}
+	for _, ev := range events {
+		switch ev.kind {
+		case evLock:
+			held[ev.key] = pass.Pkg.Fset.Position(ev.pos)
+		case evUnlock:
+			delete(held, ev.key)
+		case evBlock:
+			keys := make([]string, 0, len(held))
+			for key := range held {
+				keys = append(keys, key)
+			}
+			sort.Strings(keys)
+			for _, key := range keys {
+				pass.Report(ev.node, "%s while %s is held (locked at line %d): a blocked critical section couples lock holders to another goroutine's progress", ev.desc, key, held[key].Line)
+			}
+		}
+	}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// SealedBoundary is the sealed-boundary rule: a []byte handed to a
+// host↔CL boundary write (Shell.Transact/TransactPartition, the
+// User.Direct channel) must have flowed through a Seal*/MAC producer in
+// the enclosing function. The boundary below those calls is the
+// untrusted host software stack — anything crossing it unsealed is
+// visible to a cloud-operator adversary, which is the paper's core
+// threat model. Frames that are plaintext by design (public headers,
+// the direct channel whose payloads are pre-encrypted upstream) must be
+// annotated, so every plaintext crossing is a reviewed decision.
+var SealedBoundary = &Analyzer{
+	Name: "sealed-boundary",
+	Doc:  "[]byte crossing Transact/Direct must come from a Seal*/MAC producer, or be annotated plaintext-by-design",
+	Run:  runSealedBoundary,
+}
+
+// boundarySinks maps boundary method name → index of the frame argument.
+var boundarySinks = map[string]int{
+	"Transact":          0,
+	"TransactPartition": 1,
+	"Direct":            0,
+}
+
+func runSealedBoundary(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if f.IsTest {
+			// Attack and codec tests send deliberately malformed or
+			// plaintext frames; the invariant is about production paths.
+			continue
+		}
+		funcBodies(f, func(name string, body *ast.BlockStmt) {
+			checkBoundary(pass, body)
+		})
+	}
+}
+
+func checkBoundary(pass *Pass, body *ast.BlockStmt) {
+	// Pass 1: intra-function taint. An identifier is "protected" when
+	// assigned from a sealing producer; a struct var becomes a MAC
+	// carrier when its .MAC field is assigned, making v.Encode() output
+	// protected.
+	protected := map[string]bool{}
+	macCarrier := map[string]bool{}
+	inspectShallow(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if sel, ok := lhs.(*ast.SelectorExpr); ok && sel.Sel.Name == "MAC" {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					macCarrier[id.Name] = true
+				}
+			}
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := unparen(rhs).(*ast.CallExpr)
+			if !ok || !isSealingProducer(call, macCarrier) {
+				continue
+			}
+			// Multi-value producer (frame, err := Seal...): the data
+			// result is the first LHS.
+			if len(as.Rhs) == 1 {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok {
+					protected[id.Name] = true
+				}
+			} else if i < len(as.Lhs) {
+				if id, ok := as.Lhs[i].(*ast.Ident); ok {
+					protected[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: check every boundary sink's frame argument.
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		argIdx, isSink := boundarySinks[sel.Sel.Name]
+		if !isSink || argIdx >= len(call.Args) {
+			return true
+		}
+		arg := unparen(call.Args[argIdx])
+		switch a := arg.(type) {
+		case *ast.CallExpr:
+			if isSealingProducer(a, macCarrier) {
+				return true
+			}
+		case *ast.Ident:
+			if protected[a.Name] {
+				return true
+			}
+		}
+		pass.Report(call, "[]byte crosses the host↔CL boundary via %s without flowing through a Seal*/MAC producer in this function; seal it, or annotate //lint:allow sealed-boundary <why plaintext is safe here>", sel.Sel.Name)
+		return true
+	})
+}
+
+// isSealingProducer reports whether a call produces sealed or
+// MAC-protected bytes: its callee name contains "Seal", or it is
+// v.Encode() on a struct whose MAC field was populated in this
+// function.
+func isSealingProducer(call *ast.CallExpr, macCarrier map[string]bool) bool {
+	name := calleeName(call)
+	if strings.Contains(strings.ToLower(name), "seal") {
+		return true
+	}
+	if name == "Encode" {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok && macCarrier[id.Name] {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"unicode"
+)
+
+// SentinelErrors is the sentinel-errors rule: sentinel error values
+// must be matched with errors.Is, never ==/!=. Half the module's error
+// paths wrap their causes (%w through device, session, rpc and fleet
+// layers), so an identity compare silently stops matching the moment a
+// layer adds context — the class of bug that turns a handled
+// ErrDeviceFault into an unhandled generic failure.
+var SentinelErrors = &Analyzer{
+	Name: "sentinel-errors",
+	Doc:  "compare sentinel errors with errors.Is, not == / != / switch",
+	Run:  runSentinelErrors,
+}
+
+func runSentinelErrors(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isNilIdent(n.X) || isNilIdent(n.Y) {
+					return true // err == nil is the one sound identity check
+				}
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					if name, ok := sentinelName(side); ok {
+						pass.Report(n, "%s compares the error identity to %s and breaks once the error is wrapped; use errors.Is(err, %s)", n.Op, name, name)
+						return true
+					}
+				}
+			case *ast.SwitchStmt:
+				// switch err { case ErrX: } is the same identity compare.
+				tag, ok := n.Tag.(*ast.Ident)
+				if !ok || !looksLikeErrVar(tag.Name) {
+					return true
+				}
+				for _, cl := range n.Body.List {
+					cc := cl.(*ast.CaseClause)
+					for _, v := range cc.List {
+						if name, ok := sentinelName(v); ok {
+							pass.Report(v, "switch on error identity breaks once the error is wrapped; use errors.Is(%s, %s)", tag.Name, name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// sentinelName matches ErrFoo / pkg.ErrFoo / io.EOF style sentinels.
+func sentinelName(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if isErrName(e.Name) {
+			return e.Name, true
+		}
+	case *ast.SelectorExpr:
+		if isErrName(e.Sel.Name) {
+			if x, ok := e.X.(*ast.Ident); ok {
+				return x.Name + "." + e.Sel.Name, true
+			}
+			return e.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+func isErrName(name string) bool {
+	if name == "EOF" {
+		return true
+	}
+	return len(name) > 3 && name[:3] == "Err" && unicode.IsUpper(rune(name[3]))
+}
+
+func looksLikeErrVar(name string) bool {
+	return name == "err" || name == "error" ||
+		(len(name) >= 3 && (name[len(name)-3:] == "err" || name[len(name)-3:] == "Err"))
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AllowPrefix is the in-source suppression marker. The full syntax is
+//
+//	//lint:allow <rule>[,<rule>...] <reason>
+//
+// The reason is mandatory — an annotation that silences a security
+// invariant without saying why is itself a finding (rule "lint-allow"),
+// and so is an annotation naming a rule the suite does not have (a typo
+// would otherwise suppress nothing, silently).
+const AllowPrefix = "//lint:allow"
+
+// AllowRule is the rule name under which malformed annotations are
+// reported. It cannot itself be suppressed.
+const AllowRule = "lint-allow"
+
+// parseAllows scans a file's comments for //lint:allow annotations,
+// returning well-formed ones indexed by line plus diagnostics for the
+// malformed ones.
+func parseAllows(fset *token.FileSet, af *ast.File, known []string) (map[int][]allow, []Diagnostic) {
+	allows := make(map[int][]allow)
+	var bad []Diagnostic
+	report := func(pos token.Position, format string, args ...any) {
+		bad = append(bad, Diagnostic{
+			Rule: AllowRule,
+			Pos:  pos,
+			File: pos.Filename,
+			Line: pos.Line,
+			Col:  pos.Column,
+			Msg:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, cg := range af.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, AllowPrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimPrefix(c.Text, AllowPrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //lint:allowance — not ours
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				report(pos, "annotation names no rule: want %s <rule> <reason>", AllowPrefix)
+				continue
+			}
+			rules := strings.Split(fields[0], ",")
+			reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+			ok := true
+			for _, r := range rules {
+				if r == AllowRule {
+					report(pos, "the %s rule cannot be suppressed", AllowRule)
+					ok = false
+				} else if !ruleKnown(r, known) {
+					report(pos, "unknown rule %q (have %s)", r, strings.Join(known, ", "))
+					ok = false
+				}
+			}
+			if reason == "" {
+				report(pos, "suppression of %s requires a reason: %s %s <why this is safe>", fields[0], AllowPrefix, fields[0])
+				ok = false
+			}
+			if ok {
+				allows[pos.Line] = append(allows[pos.Line], allow{rules: rules, reason: reason, pos: pos})
+			}
+		}
+	}
+	return allows, bad
+}
+
+func ruleKnown(rule string, known []string) bool {
+	for _, k := range known {
+		if k == rule {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writePkg drops one source file into a temp dir and loads it.
+func writePkg(t *testing.T, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir, Names(All()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+const sentinelSrc = `package p
+
+import "errors"
+
+var ErrX = errors.New("x")
+
+func f(err error) bool {
+	%s
+	return err == ErrX
+}
+`
+
+func sentinelDiags(t *testing.T, annotation string) []Diagnostic {
+	t.Helper()
+	src := strings.Replace(sentinelSrc, "%s", annotation, 1)
+	pkg := writePkg(t, src)
+	return Run([]*Package{pkg}, []*Analyzer{SentinelErrors})
+}
+
+func TestAllowSuppresses(t *testing.T) {
+	diags := sentinelDiags(t, "//lint:allow sentinel-errors ErrX is never wrapped on this path")
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if !d.Suppressed {
+		t.Fatalf("annotated finding not suppressed: %v", d)
+	}
+	if d.Reason != "ErrX is never wrapped on this path" {
+		t.Fatalf("reason = %q", d.Reason)
+	}
+	if len(Unsuppressed(diags)) != 0 {
+		t.Fatal("Unsuppressed still reports the annotated finding")
+	}
+}
+
+// TestAllowWithoutReasonFails is the contract the ISSUE demands: a
+// suppression with no reason is itself a finding AND does not suppress.
+func TestAllowWithoutReasonFails(t *testing.T) {
+	diags := sentinelDiags(t, "//lint:allow sentinel-errors")
+	un := Unsuppressed(diags)
+	if len(un) != 2 {
+		t.Fatalf("got %d unsuppressed, want 2 (the finding + the bad annotation): %v", len(un), un)
+	}
+	foundBad := false
+	for _, d := range un {
+		if d.Rule == AllowRule && strings.Contains(d.Msg, "requires a reason") {
+			foundBad = true
+		}
+	}
+	if !foundBad {
+		t.Fatalf("no %s diagnostic for the reasonless annotation: %v", AllowRule, un)
+	}
+}
+
+func TestAllowUnknownRuleFails(t *testing.T) {
+	diags := sentinelDiags(t, "//lint:allow sentinal-errors typo in the rule name")
+	un := Unsuppressed(diags)
+	foundBad := false
+	for _, d := range un {
+		if d.Rule == AllowRule && strings.Contains(d.Msg, "unknown rule") {
+			foundBad = true
+		}
+	}
+	if !foundBad {
+		t.Fatalf("typoed rule name not flagged: %v", un)
+	}
+	// And the typo must not suppress the real finding.
+	real := 0
+	for _, d := range un {
+		if d.Rule == "sentinel-errors" {
+			real++
+		}
+	}
+	if real != 1 {
+		t.Fatalf("typoed annotation swallowed the finding: %v", un)
+	}
+}
+
+func TestAllowCannotSuppressItself(t *testing.T) {
+	diags := sentinelDiags(t, "//lint:allow lint-allow because I said so")
+	foundBad := false
+	for _, d := range Unsuppressed(diags) {
+		if d.Rule == AllowRule && strings.Contains(d.Msg, "cannot be suppressed") {
+			foundBad = true
+		}
+	}
+	if !foundBad {
+		t.Fatalf("lint-allow self-suppression not rejected: %v", diags)
+	}
+}
+
+func TestAllowOnSameLine(t *testing.T) {
+	src := `package p
+
+import "errors"
+
+var ErrX = errors.New("x")
+
+func f(err error) bool {
+	return err == ErrX //lint:allow sentinel-errors trailing form works too
+}
+`
+	pkg := writePkg(t, src)
+	diags := Run([]*Package{pkg}, []*Analyzer{SentinelErrors})
+	if len(diags) != 1 || !diags[0].Suppressed {
+		t.Fatalf("trailing annotation did not suppress: %v", diags)
+	}
+}
+
+func TestAllowDoesNotLeakAcrossLines(t *testing.T) {
+	src := `package p
+
+import "errors"
+
+var ErrX = errors.New("x")
+
+func f(err error) bool {
+	//lint:allow sentinel-errors only covers the next line
+	ok := err == ErrX
+	bad := err != ErrX
+	return ok && bad
+}
+`
+	pkg := writePkg(t, src)
+	un := Unsuppressed(Run([]*Package{pkg}, []*Analyzer{SentinelErrors}))
+	if len(un) != 1 {
+		t.Fatalf("annotation scope wrong: got %d unsuppressed, want 1: %v", len(un), un)
+	}
+}

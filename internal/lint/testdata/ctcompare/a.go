@@ -1,0 +1,57 @@
+package ctcompare
+
+import (
+	"bytes"
+	"salus/internal/cryptoutil"
+)
+
+type quoteT struct{ Fingerprint []byte }
+
+func compares(mac, wantMAC, data, other []byte, q quoteT, provFP []byte) bool {
+	if bytes.Equal(mac, wantMAC) { // want "bytes.Equal on \"mac\" short-circuits"
+		return true
+	}
+	if bytes.Equal(q.Fingerprint, other) { // want "bytes.Equal on \"Fingerprint\" short-circuits"
+		return true
+	}
+	if bytes.Equal(data, other) { // benign: no authentication material in the names
+		return true
+	}
+	return cryptoutil.ConstantTimeEqual(mac, wantMAC) // the fix: never flagged
+}
+
+type meta struct{ Digest [32]byte }
+
+func arrays(a, b meta, raw [32]byte) bool {
+	if a.Digest == b.Digest { // want "== on \"Digest\" may compare authentication material"
+		return true
+	}
+	return raw == b.Digest // want "== on \"Digest\" may compare"
+}
+
+func scalars(n int, count int) bool {
+	// Word-sized scalar compares are constant-time; the best-effort type
+	// check must keep them quiet even though nothing sensitive is named.
+	return n == count
+}
+
+type hdr struct{ Tag byte }
+
+func tagByte(h hdr, b byte) bool {
+	// "tag" is only sensitive for bytes.Equal operands, not scalar ==:
+	// frame-type tag bytes compare all the time.
+	return h.Tag == b
+}
+
+func literals(fp string) bool {
+	return fp == "" // comparing against a public constant is fine
+}
+
+func conversions(fp, provFP []byte, payload []byte) bool {
+	// A string conversion renames nothing: string(fp) == string(provFP)
+	// is the same short-circuiting compare in disguise.
+	if string(fp) == string(provFP) { // want "== on \"fp\" may compare authentication material"
+		return true
+	}
+	return string(payload) == string(provFP) // want "== on \"provFP\" may compare"
+}

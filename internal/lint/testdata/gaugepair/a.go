@@ -1,0 +1,28 @@
+package gaugepair
+
+import "salus/internal/metrics"
+
+var (
+	mDepth  = metrics.Default().Gauge("depth")  // paired: ok
+	mLeaky  = metrics.Default().Gauge("leaky")  // incremented, never drained
+	mLevel  = metrics.Default().Gauge("level")  // drained via Set: ok
+	mIdle   = metrics.Default().Gauge("idle")   // never touched: ok
+	mJobs   = metrics.Default().Counter("jobs") // not a gauge: Add-only is fine
+	mShrink = metrics.Default().Gauge("shrink") // decrement-only: ok (conservative)
+)
+
+func enqueue(n int64) {
+	mDepth.Add(n)
+	mLeaky.Add(1) // want "incremented here but never decremented or Set"
+	mJobs.Add(1)
+}
+
+func dequeue(n int64) {
+	mDepth.Add(-n)
+	mShrink.Add(-1)
+}
+
+func rebase(v int64) {
+	mLevel.Add(2)
+	mLevel.Set(v)
+}

@@ -1,0 +1,60 @@
+package lockblock
+
+import (
+	"sync"
+	"time"
+)
+
+type pool struct {
+	mu    sync.RWMutex
+	queue chan int
+}
+
+// The PR 2 bug class: a blocking send while the read lock is held.
+func (p *pool) submitBug(job int) {
+	p.mu.RLock()
+	p.queue <- job // want "channel send while p.mu is held"
+	p.mu.RUnlock()
+}
+
+// The fix: snapshot under the lock, send after releasing it.
+func (p *pool) submitFixed(job int) {
+	p.mu.RLock()
+	q := p.queue
+	p.mu.RUnlock()
+	q <- job // lock released: fine
+}
+
+func (p *pool) deferHold(c *Client, done chan struct{}, wg *sync.WaitGroup) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	<-done                       // want "channel receive while p.mu is held"
+	time.Sleep(time.Millisecond) // want "time.Sleep while p.mu is held"
+	c.Call("Cluster.Stats", nil) // want "rpc Call while p.mu is held"
+	wg.Wait()                    // want "Wait\(\) while p.mu is held"
+	select {                     // want "select without default while p.mu is held"
+	case <-done:
+	case p.queue <- 1:
+	}
+}
+
+func (p *pool) nonBlockingSelect() {
+	p.mu.Lock()
+	select { // non-blocking: has a default clause
+	case <-p.queue:
+	default:
+	}
+	p.mu.Unlock()
+}
+
+func (p *pool) goroutineNotHeld(done chan struct{}) {
+	p.mu.Lock()
+	go func() {
+		<-done // runs on another goroutine: the lock is not held there
+	}()
+	p.mu.Unlock()
+}
+
+type Client struct{}
+
+func (c *Client) Call(method string, v any) error { return nil }

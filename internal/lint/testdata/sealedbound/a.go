@@ -1,0 +1,46 @@
+package sealedbound
+
+type shell struct{}
+
+func (s *shell) Transact(req []byte) ([]byte, error)                 { return req, nil }
+func (s *shell) TransactPartition(i int, req []byte) ([]byte, error) { return req, nil }
+
+type sealer struct{}
+
+func (sealer) SealRegRequest(ctr uint64, b []byte) ([]byte, error) { return b, nil }
+
+func EncodeMemWrite(b []byte) []byte { return b }
+
+type attestReq struct{ MAC uint64 }
+
+func (attestReq) Encode() ([]byte, error) { return nil, nil }
+
+func computeMAC() uint64 { return 0 }
+
+func good(sh *shell, sl sealer, ctr uint64, plain []byte) {
+	frame, err := sl.SealRegRequest(ctr, plain)
+	if err != nil {
+		return
+	}
+	sh.Transact(frame) // sealed upstream: ok
+}
+
+func macTagged(sh *shell) {
+	var req attestReq
+	req.MAC = computeMAC()
+	reqBytes, err := req.Encode()
+	if err != nil {
+		return
+	}
+	sh.TransactPartition(0, reqBytes) // MAC-protected encode: ok
+}
+
+func bad(sh *shell, plain []byte) {
+	sh.Transact(plain)                             // want "crosses the host↔CL boundary via Transact"
+	sh.TransactPartition(1, EncodeMemWrite(plain)) // want "crosses the host↔CL boundary via TransactPartition"
+}
+
+func annotated(sh *shell, header []byte) {
+	//lint:allow sealed-boundary the frame is a public header, plaintext by design
+	sh.Transact(header) // suppressed by the annotation above
+}

@@ -1,0 +1,36 @@
+package sentinel
+
+import (
+	"errors"
+	"io"
+)
+
+var ErrOverloaded = errors.New("overloaded")
+
+func classify(err error) int {
+	if err == ErrOverloaded { // want "compares the error identity to ErrOverloaded"
+		return 1
+	}
+	if err != io.EOF { // want "compares the error identity to io.EOF"
+		return 2
+	}
+	if errors.Is(err, ErrOverloaded) { // the fix: never flagged
+		return 3
+	}
+	if err == nil { // nil identity is the one sound check
+		return 4
+	}
+	switch err {
+	case ErrOverloaded: // want "switch on error identity"
+		return 5
+	case nil:
+		return 6
+	}
+	return 0
+}
+
+func notErrors(count, ErrLimit int) bool {
+	// An identifier that merely starts with Err is still flagged — the
+	// rule is syntactic — but ordinary values are not.
+	return count == 3
+}

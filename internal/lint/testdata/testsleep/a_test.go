@@ -1,0 +1,21 @@
+package testsleep
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFlaky(t *testing.T) {
+	time.Sleep(50 * time.Millisecond) // want "time.Sleep in a test is a flake"
+}
+
+func TestJustified(t *testing.T) {
+	//lint:allow test-sleep fixed measurement window: the test asserts on wall-clock throughput
+	time.Sleep(10 * time.Millisecond)
+}
+
+func TestChannelSync(t *testing.T) {
+	done := make(chan struct{})
+	close(done)
+	<-done // the discipline: synchronise, don't sleep
+}

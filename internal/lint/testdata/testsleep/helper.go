@@ -1,0 +1,8 @@
+package testsleep
+
+import "time"
+
+// Non-test files are out of scope for test-sleep: production backoff
+// code legitimately sleeps (and lock-across-block polices the dangerous
+// cases).
+func backoff() { time.Sleep(time.Millisecond) }

@@ -1,0 +1,40 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+)
+
+// TestSleep is the test-sleep rule: time.Sleep in _test.go files is a
+// flake generator — the PR 4 deflaking sweep replaced wall-clock waits
+// with channel synchronisation and bounded polls, and this rule keeps
+// the discipline from eroding. internal/simtime (the virtual clock) is
+// exempt; every remaining sleep must carry an annotation explaining why
+// wall-clock time is load-bearing for that test.
+var TestSleep = &Analyzer{
+	Name: "test-sleep",
+	Doc:  "time.Sleep in tests must be justified; synchronise on channels or use internal/simtime",
+	Run:  runTestSleep,
+}
+
+func runTestSleep(pass *Pass) {
+	// The simtime package measures real elapsed time by design.
+	if filepath.Base(pass.Pkg.Dir) == "simtime" {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if !f.IsTest {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if IsPkgCall(f, call, "time", "Sleep") {
+				pass.Report(call, "time.Sleep in a test is a flake under load; synchronise on a channel/metric or poll with a deadline, or annotate why wall-clock time is load-bearing")
+			}
+			return true
+		})
+	}
+}

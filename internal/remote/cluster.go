@@ -1,7 +1,6 @@
 package remote
 
 import (
-	"bytes"
 	"crypto/sha256"
 	"encoding/json"
 	"errors"
@@ -142,7 +141,10 @@ func handleClusterHandshake(srv *rpc.Server, systems []*core.System, register fu
 	srv.Handle("Cluster.Boot", rpc.Typed(func(in ClusterBootRequest) (ClusterBootResponse, error) {
 		mu.Lock()
 		defer mu.Unlock()
-		if booted > 0 && !bytes.Equal(in.Nonce, bootNonce) {
+		// The nonce arrives over RPC from an unauthenticated caller: a
+		// short-circuiting compare would let an attacker probe the real
+		// owner's challenge byte by byte through response timing.
+		if booted > 0 && !cryptoutil.ConstantTimeEqual(in.Nonce, bootNonce) {
 			return ClusterBootResponse{}, fmt.Errorf("cluster already booted under a different nonce")
 		}
 		if booted == 0 {
@@ -169,7 +171,10 @@ func handleClusterHandshake(srv *rpc.Server, systems []*core.System, register fu
 		fp := sha256.Sum256(raw)
 		mu.Lock()
 		defer mu.Unlock()
-		if provided > 0 && !bytes.Equal(fp[:], provFP) {
+		// Provision payloads carry sealed key material; the replay
+		// fingerprint check must not leak prefix-match length to a caller
+		// replaying candidate payloads.
+		if provided > 0 && !cryptoutil.ConstantTimeEqual(fp[:], provFP) {
 			return struct{}{}, fmt.Errorf("cluster already provisioned with different key material")
 		}
 		provFP = fp[:]

@@ -44,6 +44,7 @@ func TestClusterStatsNotBlockedByInFlightJob(t *testing.T) {
 		jobOut <- out
 		jobErr <- err
 	}()
+	//lint:allow test-sleep generous margin for the job request to reach the gateway and occupy the device
 	time.Sleep(40 * time.Millisecond) // the job request is on the wire, device busy
 
 	start := time.Now()
@@ -106,6 +107,7 @@ func TestClusterSessionSurvivesGatewayRestart(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatalf("rebind %s: %v", d.addr, err)
 		}
+		//lint:allow test-sleep poll interval inside a deadline-bounded rebind loop; the sleep only paces redial attempts
 		time.Sleep(20 * time.Millisecond)
 	}
 	defer srv2.Close()
@@ -154,6 +156,22 @@ func TestClusterBootProvisionReplaySafe(t *testing.T) {
 	err = c.Call("Cluster.Boot", ClusterBootRequest{Nonce: other}, nil)
 	if err == nil || !strings.Contains(err.Error(), "different nonce") {
 		t.Errorf("conflicting boot nonce: err = %v, want different-nonce rejection", err)
+	}
+	// Prefix-probe regression for the constant-time compare (salus-vet
+	// ct-compare seed finding): a nonce sharing a long prefix with the
+	// real one, a truncation, and an extension must all be rejected —
+	// cryptoutil.ConstantTimeEqual is length-strict and the gateway must
+	// not treat near-matches differently from full mismatches.
+	probe := append([]byte(nil), nonce...)
+	probe[len(probe)-1] ^= 0x01
+	for name, n := range map[string][]byte{
+		"prefix-probe": probe,
+		"truncated":    nonce[:len(nonce)-1],
+		"extended":     append(append([]byte(nil), nonce...), 0x00),
+	} {
+		if err := c.Call("Cluster.Boot", ClusterBootRequest{Nonce: n}, nil); err == nil || !strings.Contains(err.Error(), "different nonce") {
+			t.Errorf("%s nonce: err = %v, want different-nonce rejection", name, err)
+		}
 	}
 
 	// Verify every quote and seal one shared key per device, as Attest does.

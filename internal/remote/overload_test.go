@@ -77,6 +77,7 @@ func TestClusterRedialCancelledByClose(t *testing.T) {
 	}()
 	// Let the call fail its first attempt and park in the 2 s backoff,
 	// then close the session underneath it.
+	//lint:allow test-sleep generous margin for the call to fail its first attempt and park in the 2 s redial backoff being cancelled
 	time.Sleep(100 * time.Millisecond)
 	closeAt := time.Now()
 	sess.Close()
@@ -215,6 +216,7 @@ func TestGatewayDeadlinePropagates(t *testing.T) {
 		_, err := sess.RunJob("Conv", w.Params, w.Input)
 		blockerDone <- err
 	}()
+	//lint:allow test-sleep generous margin for the blocker to reach the device so the deadline job queues behind it
 	time.Sleep(30 * time.Millisecond) // blocker is on the device
 
 	sess.SetQoS(QoS{Class: sched.ClassStandard, Deadline: 40 * time.Millisecond})

@@ -83,6 +83,7 @@ func (k *KeyClient) call(method string, params, result any) error {
 				continue // server may be coming back
 			}
 		}
+		//lint:allow lock-across-block the owner key client serialises RPCs by design: k.mu is the single-outstanding-call queue, and redial replaces k.c under the same lock
 		err = k.c.Call(method, params, result)
 		if err == nil {
 			return nil

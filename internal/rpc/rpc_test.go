@@ -267,6 +267,7 @@ func TestTimeoutAbandonsCallWithoutBreakingClient(t *testing.T) {
 	// abandoned call and must be dropped, not handed to the next Call and
 	// not treated as stream desync.
 	close(release)
+	//lint:allow test-sleep generous margin for the late reply to arrive and be dropped; the assertions after it are the real check
 	time.Sleep(50 * time.Millisecond)
 	for i := 0; i < 4; i++ {
 		if err := c.Call("echo", echoArgs{N: i}, &out); err != nil || out.N != i+1 {
@@ -281,6 +282,7 @@ func TestConcurrentCallsOverlapOnOneConnection(t *testing.T) {
 	const slowFor = 400 * time.Millisecond
 	srv := NewServer()
 	srv.Handle("slow", Typed(func(struct{}) (struct{}, error) {
+		//lint:allow test-sleep the slow handler IS the fixture: the head-of-line test needs a request that occupies real wall-clock time
 		time.Sleep(slowFor)
 		return struct{}{}, nil
 	}))
@@ -306,6 +308,7 @@ func TestConcurrentCallsOverlapOnOneConnection(t *testing.T) {
 		}
 		slowDone <- time.Now()
 	}()
+	//lint:allow test-sleep generous margin for the slow request to reach the server before the fast one is issued
 	time.Sleep(30 * time.Millisecond) // the slow request is on the wire
 	var out echoReply
 	start := time.Now()

@@ -226,6 +226,7 @@ func TestCloseDuringRedispatchResolvesAllFutures(t *testing.T) {
 		}(); retried > 0 {
 			break
 		}
+		//lint:allow test-sleep poll interval inside a deadline-bounded retry loop; correctness comes from the deadline, the sleep only paces probes
 		time.Sleep(time.Millisecond)
 	}
 	s.Close()
@@ -266,6 +267,7 @@ func TestPermanentQuarantineLatches(t *testing.T) {
 		if _, err := s.Submit(accel.GenConv(4, 4, 1, 1)).Wait(); err != nil {
 			t.Fatalf("job lost while the pool degrades: %v", err)
 		}
+		//lint:allow test-sleep poll interval inside a deadline-bounded loop; the breaker's probe window needs real elapsed time to expire
 		time.Sleep(2 * time.Millisecond) // let the probe window expire
 	}
 

@@ -85,6 +85,7 @@ func TestSchedulerMetricsQuarantineEvents(t *testing.T) {
 		if _, err := s.Submit(w).Wait(); err != nil {
 			t.Fatal(err)
 		}
+		//lint:allow test-sleep poll interval inside a deadline-bounded readmission loop; the sleep only paces probes
 		time.Sleep(2 * time.Millisecond)
 	}
 	after := metrics.Default().Snapshot()

@@ -109,6 +109,7 @@ func TestBatchClassFastRejectWhenFull(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatal("queue never filled")
 		}
+		//lint:allow test-sleep poll interval inside a deadline-bounded queue-fill loop; the sleep only paces probes
 		time.Sleep(time.Millisecond)
 	}
 
@@ -155,6 +156,7 @@ func TestExpiredJobNeverExecutes(t *testing.T) {
 	// Expires while queued behind a 60 ms job: the worker sheds it at
 	// pickup instead of running it.
 	blocker := s.Submit(w)
+	//lint:allow test-sleep generous margin for the worker to dequeue the blocker; failure mode is a weaker assertion, not a flake
 	time.Sleep(10 * time.Millisecond) // let the worker pick the blocker up
 	doomed := s.SubmitOpts(w, SubmitOptions{Deadline: time.Now().Add(20 * time.Millisecond)})
 	if _, err := doomed.Wait(); !errors.Is(err, ErrDeadlineExceeded) {
@@ -206,6 +208,7 @@ func TestLowClassFloodDoesNotStarveCritical(t *testing.T) {
 				if _, err := f.WaitTimeout(0); errors.Is(err, ErrWaitTimeout) {
 					continue // enqueued; keep the pressure up
 				} else if err != nil {
+					//lint:allow test-sleep backoff after a fast-reject keeps the flood generator from spinning a core; pressure, not timing, is asserted
 					time.Sleep(500 * time.Microsecond) // fast-rejected: pool is full
 				}
 			}
@@ -276,6 +279,7 @@ func TestSubmitDoesNotHangOnWedgedDeviceWithHealthySibling(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatal("wedged device never saturated")
 		}
+		//lint:allow test-sleep poll interval inside a deadline-bounded saturation loop; the sleep only paces probes
 		time.Sleep(time.Millisecond)
 	}
 

@@ -466,6 +466,7 @@ func TestQuarantinedDeviceIsProbedAndReadmitted(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatalf("healed device never readmitted: %+v", ds)
 		}
+		//lint:allow test-sleep poll interval inside a deadline-bounded readmission loop; the sleep only paces probes
 		time.Sleep(5 * time.Millisecond)
 	}
 }
@@ -543,8 +544,10 @@ func TestBackpressuredSubmitDoesNotBlockRegister(t *testing.T) {
 		if time.Now().After(reserveDeadline) {
 			t.Fatal("submissions never filled the queue")
 		}
+		//lint:allow test-sleep poll interval inside a deadline-bounded queue-fill loop; the sleep only paces probes
 		time.Sleep(time.Millisecond)
 	}
+	//lint:allow test-sleep settling margin after the observed queue state: the third submitter parks in admission, which no observable stat exposes
 	time.Sleep(10 * time.Millisecond)
 
 	// Register must not wait behind the blocked admission: it has to

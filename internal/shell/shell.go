@@ -146,6 +146,8 @@ func (s *Shell) Stats() Stats {
 
 // Transact carries one host transaction to partition 0's CL and returns
 // the response.
+//
+//lint:allow sealed-boundary Transact IS the boundary carrier; sealing is its callers' obligation, enforced at their call sites
 func (s *Shell) Transact(req []byte) ([]byte, error) { return s.TransactPartition(0, req) }
 
 // TransactPartition carries one host transaction to a partition's CL.

@@ -3,6 +3,7 @@ package siphash
 import (
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -68,7 +69,7 @@ func TestSumMatchesSum64(t *testing.T) {
 }
 
 func TestBadKeySize(t *testing.T) {
-	if _, err := Sum(make([]byte, 15), nil); err != ErrKeySize {
+	if _, err := Sum(make([]byte, 15), nil); !errors.Is(err, ErrKeySize) {
 		t.Errorf("Sum with 15-byte key: err = %v, want ErrKeySize", err)
 	}
 	if Verify(make([]byte, 17), []byte("x"), 0) {

@@ -377,7 +377,8 @@ func (a *SMApp) DeployCL(encoded []byte) error {
 		// Bitstream verification against the digest from the user client.
 		var ok bool
 		a.measureBest(trace.PhaseBitVerifyEnc, a.cfg.EnclaveSlowdown, func() {
-			ok = cryptoutil.Digest(encoded) == a.meta.Digest
+			got := cryptoutil.Digest(encoded)
+			ok = cryptoutil.ConstantTimeEqual(got[:], a.meta.Digest[:])
 		})
 		if !ok {
 			return nil, ErrDigest
@@ -521,6 +522,7 @@ func (a *SMApp) AttestCL() error {
 	if resp.DNA != dna {
 		return fmt.Errorf("%w: DNA mismatch: CL reports %q, CSP claimed %q", ErrCLAttestation, resp.DNA, dna)
 	}
+	//lint:allow ct-compare SipHash tags are single uint64 words; a word-sized compare executes in constant time
 	if channel.AttestMACResp(a.keyAttest, resp.Value, resp.DNA) != resp.MAC {
 		return fmt.Errorf("%w: response MAC invalid", ErrCLAttestation)
 	}
