@@ -6,7 +6,7 @@ GO ?= go
 COVER_PKGS = salus/internal/metrics salus/internal/sched salus/internal/fleet
 COVER_FLOOR = 75
 
-.PHONY: all build test vet lint race tier1 ci cover cover-check fmt-check bench bench-smoke bench-sched bench-sched-gate bench-overload bench-degraded bench-fleet bench-metrics clean
+.PHONY: all build test vet lint race tier1 ci cover cover-check fmt-check bench bench-smoke bench-sched bench-sched-gate bench-overload bench-degraded bench-fleet bench-metrics bench-federation clean
 
 all: build test
 
@@ -67,6 +67,7 @@ ci: fmt-check vet lint
 	$(MAKE) bench-metrics
 	$(MAKE) bench-sched-gate
 	$(MAKE) bench-overload
+	$(MAKE) bench-federation
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -93,6 +94,13 @@ bench-sched-gate:
 # residual (see TestOverloadGate).
 bench-overload:
 	SALUS_BENCH_SMOKE=1 $(GO) test -run 'TestOverloadGate$$' -v . | grep -E 'capacity|overload|p99|ok|FAIL|PASS'
+
+# Federation gate: 3 federated 2-device gateways must serve 100k+ concurrent
+# client sessions at >= 2.5x a single gateway's aggregate goodput, and the
+# routing ring must converge minimally on shard join/leave (join moves keys
+# only onto the new shard; leave restores prior ownership exactly).
+bench-federation:
+	SALUS_BENCH_SMOKE=1 $(GO) test -run 'TestFederationGate$$' -v . | grep -E 'goodput|moved|hand-off|ok|FAIL|PASS'
 
 # Degraded pool: 3 devices with one permanently broken vs 2 healthy.
 bench-degraded:

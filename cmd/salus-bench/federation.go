@@ -1,0 +1,183 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"salus"
+	"salus/internal/accel"
+	"salus/internal/cryptoutil"
+	"salus/internal/federation"
+	"salus/internal/sched"
+)
+
+// fedLoadResult is one deployment's measured serving window.
+type fedLoadResult struct {
+	clients int
+	elapsed time.Duration
+	rate    float64 // completed jobs/sec
+	stats   federation.Stats
+	net     time.Duration // modelled WAN + intra-region time
+}
+
+// runFederationLoad builds a federation of the given shape and drives one
+// job from each of `clients` concurrent client sessions through it. Every
+// client is its own goroutine with its own session identity (tenant +
+// data-key name) — the concurrency the front tier must place — while
+// `inflight` bounds how many jobs are inside the region at once (the rest
+// of the clients are connected and waiting, exactly like an open system
+// under admission). Returns the achieved goodput.
+func runFederationLoad(shards, devices, clients, inflight int, latency time.Duration, spillHigh float64) fedLoadResult {
+	timing := salus.FastTiming()
+	timing.RealJobLatency = latency
+	d, err := federation.BuildLocal(federation.LocalSpec{
+		Shards:          shards,
+		DevicesPerShard: devices,
+		Kernel:          accel.Conv{},
+		Timing:          timing,
+		Scheduler:       sched.Config{QueueDepth: 256},
+		Federation:      federation.Config{SpillHighWater: spillHigh},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	// One region data key, many client sessions: pre-seal the shared
+	// workload once so the measurement is the serving tier, not 100k AES
+	// setups in the driver.
+	w := accel.GenConv(4, 4, 1, 42)
+	sealed, err := cryptoutil.Seal(d.Key, w.Input, []byte("job-input"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sem := make(chan struct{}, inflight)
+	var wg sync.WaitGroup
+	var failed atomic.Uint64
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			tenant := fmt.Sprintf("tenant-%d", i%997)
+			key := fmt.Sprintf("dataset-%d", i)
+			res, err := d.Fed.Submit(tenant, key, "Conv", w.Params, sealed, sched.SubmitOptions{Class: sched.ClassStandard})
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			if _, err := res.Future.Wait(); err != nil {
+				failed.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if n := failed.Load(); n > 0 {
+		log.Fatalf("%d of %d client jobs failed", n, clients)
+	}
+	return fedLoadResult{
+		clients: clients,
+		elapsed: elapsed,
+		rate:    float64(clients) / elapsed.Seconds(),
+		stats:   d.Fed.Stats(),
+		net:     d.Fed.NetClock().Elapsed(),
+	}
+}
+
+// benchFederation is the `salus-bench federation` subcommand: aggregate
+// goodput of a federated region versus a single gateway over the same
+// per-shard hardware, plus a hot-spot phase that exercises spill-over.
+func benchFederation(args []string) {
+	fs := flag.NewFlagSet("federation", flag.ExitOnError)
+	shards := fs.Int("shards", 3, "shard gateways in the federated run")
+	devices := fs.Int("devices", 2, "FPGA devices per shard")
+	clients := fs.Int("clients", 100000, "concurrent simulated client sessions in the federated run")
+	inflight := fs.Int("inflight", 1024, "jobs inside the region at once")
+	latency := fs.Duration("latency", 100*time.Microsecond, "modelled per-job device latency")
+	spillHigh := fs.Float64("spill-high", federation.DefaultSpillHighWater, "queued jobs per device at which a shard spills")
+	hotJobs := fs.Int("hot-jobs", 5000, "jobs from one hot session in the spill-over phase (0 = skip)")
+	fs.Parse(args)
+
+	fmt.Printf("Federation throughput — Conv 4x4x1, %v device latency, %d in flight\n\n", *latency, *inflight)
+	fmt.Printf("%-28s %10s %12s\n", "configuration", "sessions", "jobs/sec")
+
+	// Baseline: one gateway with one shard's hardware serving its fair
+	// share of the clients. Aggregate goodput of the federation must beat
+	// this by ~the shard count — the tier's scale-out claim.
+	baseClients := *clients / *shards
+	base := runFederationLoad(1, *devices, baseClients, *inflight, *latency, *spillHigh)
+	fmt.Printf("%-28s %10d %12.1f\n", fmt.Sprintf("single gateway, %d devices", *devices), base.clients, base.rate)
+
+	multi := runFederationLoad(*shards, *devices, *clients, *inflight, *latency, *spillHigh)
+	fmt.Printf("%-28s %10d %12.1f   (%.2fx aggregate)\n",
+		fmt.Sprintf("federated, %d gw x %d dev", *shards, *devices), multi.clients, multi.rate, multi.rate/base.rate)
+
+	st := multi.stats
+	total := st.Routed + st.Spilled
+	fmt.Printf("\nrouting: %d home (%.1f%% hit rate), %d spilled, %d hand-offs, ring epoch %d\n",
+		st.Routed, 100*float64(st.Routed)/float64(total), st.Spilled, st.Handoffs, st.Epoch)
+	fmt.Printf("modelled network: %v WAN+region across %d jobs\n", multi.net.Round(time.Millisecond), total)
+
+	if *hotJobs <= 0 {
+		return
+	}
+	// Hot-spot phase: every job carries ONE session identity, so the ring
+	// pins the load to one home shard; once its backlog passes the spill
+	// threshold the router migrates the overflow to idle siblings — keyed
+	// by enclave hand-off, no owner round trip.
+	hot := runHotSpot(*shards, *devices, *hotJobs, *inflight, *latency, *spillHigh)
+	fmt.Printf("\nhot-spot spill-over — one session, %d jobs over %d x %d-device shards\n", *hotJobs, *shards, *devices)
+	fmt.Printf("  %d served at home, %d spilled (%.1f%%), %d hand-offs\n",
+		hot.Routed, hot.Spilled, 100*float64(hot.Spilled)/float64(hot.Routed+hot.Spilled), hot.Handoffs)
+}
+
+// runHotSpot drives one session's jobs through a fresh federation and
+// returns its routing stats.
+func runHotSpot(shards, devices, jobs, inflight int, latency time.Duration, spillHigh float64) federation.Stats {
+	timing := salus.FastTiming()
+	timing.RealJobLatency = latency
+	d, err := federation.BuildLocal(federation.LocalSpec{
+		Shards:          shards,
+		DevicesPerShard: devices,
+		Kernel:          accel.Conv{},
+		Timing:          timing,
+		Scheduler:       sched.Config{QueueDepth: 256},
+		Federation:      federation.Config{SpillHighWater: spillHigh},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+	w := accel.GenConv(4, 4, 1, 7)
+	sealed, err := cryptoutil.Seal(d.Key, w.Input, []byte("job-input"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sem := make(chan struct{}, inflight)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := d.Fed.Submit("tenant-hot", "hot-dataset", "Conv", w.Params, sealed, sched.SubmitOptions{Class: sched.ClassStandard})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := res.Future.Wait(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+	wg.Wait()
+	return d.Fed.Stats()
+}

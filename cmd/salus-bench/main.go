@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"salus"
@@ -23,6 +24,10 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("salus-bench: ")
+	if len(os.Args) > 1 && os.Args[1] == "federation" {
+		benchFederation(os.Args[2:])
+		return
+	}
 	measure := flag.Bool("measure", false, "also run the real kernels with real traffic encryption")
 	schedDevs := flag.Int("sched", 0, "also benchmark the job scheduler over N simulated devices (0 = skip)")
 	schedJobs := flag.Int("jobs", 64, "jobs per scheduler benchmark run")

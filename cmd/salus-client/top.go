@@ -16,14 +16,18 @@ import (
 	"salus/internal/sched"
 )
 
-// runTop is the live fleet-health subcommand: it polls the gateway's
-// per-device stats and aggregate metrics snapshot on one connection and
-// renders a compact health board — queue depth, boot-cache hit rates,
-// quarantine state, and job-latency quantiles. -iterations bounds the loop
-// (0 = run until interrupted), which is what the e2e test uses.
+// runTop is the live fleet-health subcommand: it polls per-device stats
+// and aggregate metrics snapshots and renders a compact health board —
+// queue depth, boot-cache hit rates, quarantine state, and job-latency
+// quantiles. -inst accepts a comma-separated gateway list: counters sum,
+// histograms merge bucket-for-bucket (metrics.MergeSnapshots), and device
+// rows concatenate, so one board covers a whole fleet of gateways — or a
+// federation front tier, which serves the same Stats/Metrics methods.
+// -iterations bounds the loop (0 = run until interrupted), which is what
+// the e2e test uses.
 func runTop(args []string) {
 	fs := flag.NewFlagSet("top", flag.ExitOnError)
-	instAddr := fs.String("inst", "127.0.0.1:7002", "cluster / fleet gateway address")
+	instAddr := fs.String("inst", "127.0.0.1:7002", "cluster / fleet / federation gateway address(es), comma-separated")
 	expPath := fs.String("exp", "salus-expectations.json", "expectations file from salus-server")
 	interval := fs.Duration("interval", time.Second, "refresh interval")
 	iterations := fs.Int("iterations", 0, "number of refreshes before exiting (0 = forever)")
@@ -37,25 +41,47 @@ func runTop(args []string) {
 	if err := json.Unmarshal(raw, &exps); err != nil {
 		log.Fatalf("top needs a cluster expectations file (JSON array): %v", err)
 	}
-	sess, err := remote.DialCluster(*instAddr, exps)
-	if err != nil {
-		log.Fatal(err)
+	var addrs []string
+	for _, a := range strings.Split(*instAddr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
 	}
-	defer sess.Close()
+	if len(addrs) == 0 {
+		log.Fatal("top: no gateway addresses")
+	}
+	sessions := make([]*remote.ClusterSession, 0, len(addrs))
+	for _, a := range addrs {
+		sess, err := remote.DialCluster(a, exps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer sess.Close()
+		sessions = append(sessions, sess)
+	}
 
 	for i := 0; *iterations <= 0 || i < *iterations; i++ {
 		if i > 0 {
 			time.Sleep(*interval)
 		}
-		stats, err := sess.Stats()
-		if err != nil {
-			log.Fatalf("stats: %v", err)
+		var stats []sched.DeviceStats
+		snaps := make([]metrics.Snapshot, 0, len(sessions))
+		for j, sess := range sessions {
+			s, err := sess.Stats()
+			if err != nil {
+				log.Fatalf("stats from %s: %v", addrs[j], err)
+			}
+			stats = append(stats, s...)
+			m, err := sess.Metrics()
+			if err != nil {
+				log.Fatalf("metrics from %s: %v", addrs[j], err)
+			}
+			snaps = append(snaps, m)
 		}
-		snap, err := sess.Metrics()
-		if err != nil {
-			log.Fatalf("metrics: %v", err)
+		if len(addrs) > 1 {
+			fmt.Printf("salus top — aggregating %d gateways (%s)\n", len(addrs), strings.Join(addrs, ", "))
 		}
-		fmt.Print(renderTop(stats, snap))
+		fmt.Print(renderTop(stats, metrics.MergeSnapshots(snaps...)))
 	}
 }
 

@@ -54,6 +54,42 @@ func TestRenderTop(t *testing.T) {
 	}
 }
 
+// TestRenderTopAggregatesGateways drives the multi-gateway path: two
+// gateways' snapshots merge (counters summed, histograms merged bucket-
+// for-bucket) and their device rows concatenate into one board.
+func TestRenderTopAggregatesGateways(t *testing.T) {
+	gw1, gw2 := metrics.NewRegistry(), metrics.NewRegistry()
+	gw1.Counter("salus_sched_submitted_total").Add(100)
+	gw2.Counter("salus_sched_submitted_total").Add(40)
+	gw1.Counter("salus_sched_completed_total").Add(90)
+	gw2.Counter("salus_sched_completed_total").Add(40)
+	gw1.Gauge("salus_sched_queue_depth").Set(3)
+	gw2.Gauge("salus_sched_queue_depth").Set(4)
+	for i := 0; i < 99; i++ {
+		gw1.Histogram("salus_sched_job_seconds").Observe(2 * time.Millisecond)
+	}
+	gw2.Histogram("salus_sched_job_seconds").Observe(300 * time.Millisecond)
+
+	stats := []sched.DeviceStats{
+		{DNA: "GW0-00", Kernel: "Conv", Queued: 3, Completed: 90},
+		{DNA: "GW1-00", Kernel: "Conv", Queued: 4, Completed: 40},
+	}
+	out := renderTop(stats, metrics.MergeSnapshots(gw1.Snapshot(), gw2.Snapshot()))
+
+	wants := []string{
+		"2 devices",
+		"7 queued",         // gauges summed across gateways
+		"140 submitted",    // counters summed across gateways
+		"p99 524.288ms",    // gw2's outlier visible in the merged quantiles
+		"GW0-00", "GW1-00", // both gateways' device rows present
+	}
+	for _, want := range wants {
+		if !strings.Contains(out, want) {
+			t.Errorf("aggregated top output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestHitRateEmpty(t *testing.T) {
 	if got := hitRate(0, 0); got != "0/0" {
 		t.Fatalf("hitRate(0,0) = %q", got)

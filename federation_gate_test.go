@@ -1,0 +1,194 @@
+// Federation gate: the acceptance check for the federated gateway tier.
+// Three federated 2-device gateways must serve 100k+ concurrent client
+// sessions at >= 2.5x the aggregate goodput of a single gateway with one
+// shard's hardware, and the routing table must converge minimally on shard
+// join/leave: a join moves keys only onto the new shard, a leave restores
+// the exact prior ownership.
+//
+// Run via `make bench-federation` (SALUS_BENCH_SMOKE=1) — wall-clock
+// assertions do not belong in ordinary `go test ./...` runs.
+package salus_test
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"salus/internal/accel"
+	"salus/internal/core"
+	"salus/internal/cryptoutil"
+	"salus/internal/federation"
+	"salus/internal/sched"
+)
+
+// gateClient identifies one simulated client session.
+func gateClient(i int) (tenant, key string) {
+	return fmt.Sprintf("tenant-%d", i%997), fmt.Sprintf("dataset-%d", i)
+}
+
+// buildGateFederation assembles an owner-booted federation with a 100µs
+// device latency so capacity is device-bound — the regime where adding
+// shards must add goodput.
+func buildGateFederation(t *testing.T, shards, devices int) *federation.LocalDeployment {
+	t.Helper()
+	timing := core.FastTiming()
+	timing.RealJobLatency = 100 * time.Microsecond
+	d, err := federation.BuildLocal(federation.LocalSpec{
+		Shards:          shards,
+		DevicesPerShard: devices,
+		Kernel:          accel.Conv{},
+		Timing:          timing,
+		Scheduler:       sched.Config{QueueDepth: 256},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+// driveGateClients runs one job from each of n concurrent client sessions
+// (each a goroutine holding its own tenant + data-key identity, admission
+// bounded by inflight) and returns the serving window's goodput.
+func driveGateClients(t *testing.T, d *federation.LocalDeployment, n, inflight int) float64 {
+	t.Helper()
+	w := accel.GenConv(4, 4, 1, 42)
+	sealed, err := cryptoutil.Seal(d.Key, w.Input, []byte("job-input"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sem := make(chan struct{}, inflight)
+	var wg sync.WaitGroup
+	var failed atomic.Uint64
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			tenant, key := gateClient(i)
+			res, err := d.Fed.Submit(tenant, key, "Conv", w.Params, sealed, sched.SubmitOptions{Class: sched.ClassStandard})
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			if _, err := res.Future.Wait(); err != nil {
+				failed.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if got := failed.Load(); got > 0 {
+		t.Fatalf("%d of %d client sessions failed", got, n)
+	}
+	return float64(n) / elapsed.Seconds()
+}
+
+func TestFederationGate(t *testing.T) {
+	if os.Getenv("SALUS_BENCH_SMOKE") == "" {
+		t.Skip("set SALUS_BENCH_SMOKE=1 to run the federation gate (wall-clock assertions)")
+	}
+	const (
+		shards    = 3
+		devices   = 2
+		clients   = 100_000 // concurrent client sessions across the region
+		inflight  = 1024
+		minuplift = 2.5
+	)
+
+	// Baseline: a single gateway with one shard's hardware serving its fair
+	// share of the client population.
+	single := buildGateFederation(t, 1, devices)
+	baseRate := driveGateClients(t, single, clients/shards, inflight)
+
+	// The federated region serves the full population.
+	fed := buildGateFederation(t, shards, devices)
+	fedRate := driveGateClients(t, fed, clients, inflight)
+
+	t.Logf("aggregate goodput: single %.0f jobs/s, federated %.0f jobs/s (%.2fx)",
+		baseRate, fedRate, fedRate/baseRate)
+	if fedRate < minuplift*baseRate {
+		t.Errorf("federated goodput %.0f jobs/s is %.2fx the single gateway's %.0f jobs/s, want >= %.1fx",
+			fedRate, fedRate/baseRate, baseRate, minuplift)
+	}
+	st := fed.Fed.Stats()
+	if st.Routed+st.Spilled != clients {
+		t.Errorf("federation served %d jobs for %d client sessions", st.Routed+st.Spilled, clients)
+	}
+	for _, sh := range st.Shards {
+		if !sh.Keyed {
+			t.Errorf("shard %s never keyed during the serving window", sh.ID)
+		}
+	}
+
+	// Routing-table convergence on join: adding a shard moves keys only
+	// ONTO the new shard, and only ~1/(n+1) of them.
+	const sample = 3000
+	before := make(map[string]string, sample)
+	for i := 0; i < sample; i++ {
+		tenant, key := gateClient(i)
+		id, _, _, err := fed.Fed.Route(tenant, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[key] = id
+	}
+	epoch0 := fed.Fed.Ring().Epoch()
+	if _, err := fed.JoinShard("gw3", "", devices); err != nil {
+		t.Fatal(err)
+	}
+	if fed.Fed.Ring().Epoch() == epoch0 {
+		t.Error("ring epoch did not advance on join")
+	}
+	moved := 0
+	for i := 0; i < sample; i++ {
+		tenant, key := gateClient(i)
+		id, _, _, err := fed.Fed.Route(tenant, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id == before[key] {
+			continue
+		}
+		if id != "gw3" {
+			t.Fatalf("key %q moved %s -> %s on gw3 join: only the new shard's segment may move", key, before[key], id)
+		}
+		moved++
+	}
+	if moved == 0 || moved > sample/2 {
+		t.Errorf("gw3 join moved %d of %d sampled keys, want ~%d", moved, sample, sample/(shards+1))
+	}
+
+	// The joiner actually serves: re-drive the moved segment's sessions and
+	// require gw3 to have been keyed by hand-off and to have run jobs.
+	handoffs0 := fed.Fed.Stats().Handoffs
+	serveRate := driveGateClients(t, fed, sample, inflight)
+	if serveRate <= 0 {
+		t.Fatal("no goodput after join")
+	}
+	if got := fed.Fed.Stats().Handoffs; got != handoffs0+uint64(devices) {
+		t.Errorf("hand-offs after join = %d, want %d (the joiner's %d boards keyed once each)",
+			got, handoffs0+uint64(devices), devices)
+	}
+
+	// Convergence on leave: removing the joiner restores the exact prior
+	// ownership for every sampled key.
+	if err := fed.Fed.RemoveShard("gw3"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sample; i++ {
+		tenant, key := gateClient(i)
+		id, _, _, err := fed.Fed.Route(tenant, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != before[key] {
+			t.Fatalf("key %q maps to %s after join+leave, was %s: leave did not restore the segment", key, id, before[key])
+		}
+	}
+}

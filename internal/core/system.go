@@ -428,26 +428,53 @@ func (s *System) ProvisionKey(dataPub, dataKey []byte) error {
 // copy stays empty — in this mode only enclaves ever hold the key, so jobs
 // must arrive pre-sealed (RunJobSealed / the scheduler path).
 func (s *System) AdoptDataKeyFrom(donor *System) error {
-	if s.booted {
-		return fmt.Errorf("core: system already booted")
-	}
 	if donor == nil || !donor.Booted() {
 		return fmt.Errorf("core: donor system is not booted")
 	}
-	res, err := s.User.CLResult()
+	req, err := s.BeginAdoptDataKey(donor.User.Measurement())
 	if err != nil {
-		return fmt.Errorf("core: adopt data key: recipient CL not attested: %w", err)
-	}
-	if !res.Attested {
-		return fmt.Errorf("core: adopt data key: recipient CL attestation failed")
-	}
-	req, err := s.User.RequestDataKey(donor.User.Measurement())
-	if err != nil {
-		return fmt.Errorf("core: adopt data key: %w", err)
+		return err
 	}
 	grant, err := donor.User.ShareDataKey(req)
 	if err != nil {
 		return fmt.Errorf("core: adopt data key: %w", err)
+	}
+	return s.FinishAdoptDataKey(grant)
+}
+
+// BeginAdoptDataKey is the recipient-side first half of AdoptDataKeyFrom,
+// split out so the donor may live behind a wire boundary (the federation
+// gateway's Federation.Handoff RPC): it checks the recipient finished its
+// instance-side boot with an attested CL chain and emits the local-
+// attestation key request to relay to the donor. donor is the measurement
+// the request pins; a recipient that cannot see the donor enclave passes
+// its own measurement, since the hand-off requires identical user programs
+// anyway.
+func (s *System) BeginAdoptDataKey(donor sgx.Measurement) (userapp.KeyRequest, error) {
+	if s.booted {
+		return userapp.KeyRequest{}, fmt.Errorf("core: system already booted")
+	}
+	res, err := s.User.CLResult()
+	if err != nil {
+		return userapp.KeyRequest{}, fmt.Errorf("core: adopt data key: recipient CL not attested: %w", err)
+	}
+	if !res.Attested {
+		return userapp.KeyRequest{}, fmt.Errorf("core: adopt data key: recipient CL attestation failed")
+	}
+	req, err := s.User.RequestDataKey(donor)
+	if err != nil {
+		return userapp.KeyRequest{}, fmt.Errorf("core: adopt data key: %w", err)
+	}
+	return req, nil
+}
+
+// FinishAdoptDataKey is the recipient-side second half: it accepts the
+// donor's sealed grant into the user enclave and completes the boot. The
+// host never sees the key — only enclaves hold it in this mode, so jobs
+// must arrive pre-sealed.
+func (s *System) FinishAdoptDataKey(grant userapp.KeyGrant) error {
+	if s.booted {
+		return fmt.Errorf("core: system already booted")
 	}
 	if err := s.User.AcceptDataKey(grant); err != nil {
 		return fmt.Errorf("core: adopt data key: %w", err)

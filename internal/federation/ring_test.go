@@ -1,0 +1,131 @@
+package federation
+
+import (
+	"fmt"
+	"testing"
+)
+
+// sampleKeys returns n distinct ring keys shaped like real session keys.
+func sampleKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = RouteKey(fmt.Sprintf("tenant-%d", i%97), fmt.Sprintf("dataset-%d", i))
+	}
+	return keys
+}
+
+func ringWith(t *testing.T, shards ...string) *Ring {
+	t.Helper()
+	r := NewRing(0)
+	for _, s := range shards {
+		if err := r.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	a := ringWith(t, "gw0", "gw1", "gw2")
+	b := ringWith(t, "gw2", "gw0", "gw1") // insertion order must not matter
+	for _, k := range sampleKeys(2000) {
+		oa, ob := a.Route(k), b.Route(k)
+		if oa == "" {
+			t.Fatalf("key %q routed nowhere", k)
+		}
+		if oa != ob {
+			t.Fatalf("placement depends on insertion order: %q -> %s vs %s", k, oa, ob)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := ringWith(t, "gw0", "gw1", "gw2")
+	counts := map[string]int{}
+	keys := sampleKeys(30000)
+	for _, k := range keys {
+		counts[r.Route(k)]++
+	}
+	want := len(keys) / 3
+	for shard, n := range counts {
+		if n < want/2 || n > want*2 {
+			t.Errorf("shard %s owns %d of %d keys — virtual nodes not balancing", shard, n, len(keys))
+		}
+	}
+}
+
+// TestRingJoinMovesOnlyOneSegment is the routing-convergence acceptance
+// check: adding a shard may move keys only TO the new shard, removing it
+// must restore the exact prior ownership, and untouched keys never move.
+func TestRingJoinMovesOnlyOneSegment(t *testing.T) {
+	r := ringWith(t, "gw0", "gw1", "gw2")
+	keys := sampleKeys(20000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Route(k)
+	}
+	epoch0 := r.Epoch()
+
+	if err := r.Add("gw3"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch() == epoch0 {
+		t.Error("epoch did not advance on join")
+	}
+	moved := 0
+	for _, k := range keys {
+		after := r.Route(k)
+		if after == before[k] {
+			continue
+		}
+		if after != "gw3" {
+			t.Fatalf("key %q moved %s -> %s on gw3 join: only the new shard's segment may move", k, before[k], after)
+		}
+		moved++
+	}
+	// The new shard should take roughly its fair share (1/4), and must take
+	// something — a join that moves nothing routed no load to the new shard.
+	if moved == 0 || moved > len(keys)/2 {
+		t.Errorf("gw3 join moved %d of %d keys, want ~%d", moved, len(keys), len(keys)/4)
+	}
+
+	if err := r.Remove("gw3"); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if got := r.Route(k); got != before[k] {
+			t.Fatalf("key %q maps to %s after join+leave, was %s: leave did not restore the segment", k, got, before[k])
+		}
+	}
+}
+
+func TestRingMembership(t *testing.T) {
+	r := NewRing(8)
+	if got := r.Route("anything"); got != "" {
+		t.Errorf("empty ring routed to %q", got)
+	}
+	if err := r.Add(""); err == nil {
+		t.Error("empty shard id accepted")
+	}
+	if err := r.Add("gw0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("gw0"); err == nil {
+		t.Error("duplicate add accepted")
+	}
+	if err := r.Remove("gw9"); err == nil {
+		t.Error("removing an absent shard accepted")
+	}
+	if got := r.Shards(); len(got) != 1 || got[0] != "gw0" {
+		t.Errorf("Shards() = %v", got)
+	}
+	if r.Size() != 1 {
+		t.Errorf("Size() = %d", r.Size())
+	}
+}
+
+func TestRouteKeyUnambiguous(t *testing.T) {
+	if RouteKey("ab", "c") == RouteKey("a", "bc") {
+		t.Error("tenant/key concatenation is ambiguous")
+	}
+}

@@ -36,20 +36,22 @@ type AutoscaleConfig struct {
 	SustainUp, SustainDown int
 }
 
-// pressure returns the mean queued entries per member, and feeds the gauge.
-func (m *Manager) pressure() float64 {
-	stats := m.sch.Stats()
-	if len(stats) == 0 {
+// Pressure returns the mean queued entries per member — the backlog signal
+// the autoscaler thresholds on and the federation's spill-over router
+// consults per submission (QueuedTotal keeps it cheap enough for that).
+// Every read feeds the pressure gauge.
+func (m *Manager) Pressure() float64 {
+	n := m.sch.DeviceCount()
+	if n == 0 {
 		return 0
 	}
-	var queued int
-	for _, ds := range stats {
-		queued += int(ds.Queued)
-	}
-	p := float64(queued) / float64(len(stats))
+	p := float64(m.sch.QueuedTotal()) / float64(n)
 	mPressure.Set(int64(p * 1000))
 	return p
 }
+
+// pressure is the autoscale loop's internal alias for Pressure.
+func (m *Manager) pressure() float64 { return m.Pressure() }
 
 // scaleDownVictim picks the member to decommission: quarantined boards
 // first, then the least-queued healthy board.

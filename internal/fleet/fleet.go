@@ -86,6 +86,16 @@ type Config struct {
 	// Manufacturer reuses an existing service (e.g. one already serving
 	// RPC); nil creates a fresh one.
 	Manufacturer *manufacturer.Service
+	// HostPlatform reuses an existing TEE host platform instead of creating
+	// a fresh one. Federated shards in one region must share a platform:
+	// the cross-gateway data-key hand-off rides SGX local attestation,
+	// which only verifies between enclaves of the same platform.
+	HostPlatform *sgx.Platform
+	// Prepared and Quotes share boot caches across fleet managers (e.g.
+	// every shard of a federation deploying the same CL pays one bitstream
+	// manipulation region-wide). Nil creates per-manager caches.
+	Prepared *smapp.PreparedCache
+	Quotes   *smapp.QuotePool
 	// KeyService overrides how SM enclaves reach key distribution (e.g. the
 	// RPC client from internal/remote). Nil means the in-process service.
 	KeyService smapp.KeyService
@@ -151,16 +161,28 @@ func New(cfg Config) (*Manager, error) {
 			return nil, err
 		}
 	}
-	host, err := sgx.NewPlatform(mfr.Authority())
-	if err != nil {
-		return nil, err
+	host := cfg.HostPlatform
+	if host == nil {
+		var err error
+		host, err = sgx.NewPlatform(mfr.Authority())
+		if err != nil {
+			return nil, err
+		}
+	}
+	prepared := cfg.Prepared
+	if prepared == nil {
+		prepared = smapp.NewPreparedCache()
+	}
+	quotes := cfg.Quotes
+	if quotes == nil {
+		quotes = smapp.NewQuotePool()
 	}
 	return &Manager{
 		cfg:       cfg,
 		mfr:       mfr,
 		host:      host,
-		prepared:  smapp.NewPreparedCache(),
-		quotes:    smapp.NewQuotePool(),
+		prepared:  prepared,
+		quotes:    quotes,
 		sch:       sched.New(cfg.Scheduler),
 		bootTrace: trace.New(),
 		members:   make(map[fpga.DNA]*core.System),
@@ -344,6 +366,12 @@ func (m *Manager) BootFleet(k int) error {
 	}
 	return nil
 }
+
+// Donor returns a booted member suitable as the giving side of a sibling
+// data-key hand-off, or nil if none exists. A federation uses this to pick
+// the donor enclave on an attested shard when keying a sibling shard's
+// boards — the cross-gateway analogue of the in-fleet hand-off.
+func (m *Manager) Donor() *core.System { return m.pickDonor() }
 
 // pickDonor returns a booted member for the sibling hand-off, preferring
 // healthy boards over quarantined or draining ones.

@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestMergeSnapshotsExact pins the exactness property: merging the
+// snapshots of two registries that observed disjoint streams equals the
+// snapshot of one registry that observed both — same counts, same buckets,
+// same quantiles. That is what makes a multi-gateway `top` trustworthy.
+func TestMergeSnapshotsExact(t *testing.T) {
+	a, b, both := NewRegistry(), NewRegistry(), NewRegistry()
+
+	a.Counter("jobs").Add(3)
+	b.Counter("jobs").Add(5)
+	both.Counter("jobs").Add(8)
+	b.Counter("only_b").Add(2)
+	both.Counter("only_b").Add(2)
+
+	a.Gauge("depth").Set(2)
+	b.Gauge("depth").Set(7)
+	both.Gauge("depth").Set(9)
+
+	streamA := []time.Duration{2 * time.Millisecond, 2 * time.Millisecond, 500 * time.Nanosecond}
+	streamB := []time.Duration{300 * time.Millisecond, 40 * time.Microsecond}
+	for _, d := range streamA {
+		a.Histogram("lat").Observe(d)
+		both.Histogram("lat").Observe(d)
+	}
+	for _, d := range streamB {
+		b.Histogram("lat").Observe(d)
+		both.Histogram("lat").Observe(d)
+	}
+
+	got := MergeSnapshots(a.Snapshot(), b.Snapshot())
+	want := both.Snapshot()
+	if !reflect.DeepEqual(got.Counters, want.Counters) {
+		t.Errorf("merged counters = %v, want %v", got.Counters, want.Counters)
+	}
+	if !reflect.DeepEqual(got.Gauges, want.Gauges) {
+		t.Errorf("merged gauges = %v, want %v", got.Gauges, want.Gauges)
+	}
+	if !reflect.DeepEqual(got.Histograms["lat"], want.Histograms["lat"]) {
+		t.Errorf("merged histogram = %+v, want %+v", got.Histograms["lat"], want.Histograms["lat"])
+	}
+}
+
+func TestMergeSnapshotsIdentity(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(4)
+	r.Histogram("h").Observe(3 * time.Millisecond)
+	snap := r.Snapshot()
+	got := MergeSnapshots(snap)
+	if !reflect.DeepEqual(got.Counters, snap.Counters) || !reflect.DeepEqual(got.Histograms, snap.Histograms) {
+		t.Errorf("single-snapshot merge is not the identity: %+v vs %+v", got, snap)
+	}
+	empty := MergeSnapshots()
+	if len(empty.Counters)+len(empty.Gauges)+len(empty.Histograms) != 0 {
+		t.Errorf("empty merge is non-empty: %+v", empty)
+	}
+}

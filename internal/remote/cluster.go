@@ -126,6 +126,14 @@ func ServeCluster(systems []*core.System, sch *sched.Scheduler, addr string, opt
 // called once per device after the whole pool finished provisioning (the
 // scheduler for a plain cluster, fleet adoption for an elastic one).
 func handleClusterHandshake(srv *rpc.Server, systems []*core.System, register func(*core.System) error) {
+	handlePoolHandshake(srv, "Cluster", systems, register)
+}
+
+// handlePoolHandshake is the prefix-parameterised body of
+// handleClusterHandshake, shared with the federation gateway (which serves
+// the identical owner handshake as Federation.Boot / Federation.Provision
+// against the root shard only).
+func handlePoolHandshake(srv *rpc.Server, prefix string, systems []*core.System, register func(*core.System) error) {
 	// Handshake state. RPC handlers run concurrently (one goroutine per
 	// request), so every mutation of the pool is serialised here.
 	var (
@@ -138,7 +146,7 @@ func handleClusterHandshake(srv *rpc.Server, systems []*core.System, register fu
 		registered int // devices registered into the scheduler
 	)
 
-	srv.Handle("Cluster.Boot", rpc.Typed(func(in ClusterBootRequest) (ClusterBootResponse, error) {
+	srv.Handle(prefix+".Boot", rpc.Typed(func(in ClusterBootRequest) (ClusterBootResponse, error) {
 		mu.Lock()
 		defer mu.Unlock()
 		// The nonce arrives over RPC from an unauthenticated caller: a
@@ -160,7 +168,7 @@ func handleClusterHandshake(srv *rpc.Server, systems []*core.System, register fu
 		}
 		return ClusterBootResponse{Quotes: bootQuotes}, nil
 	}))
-	srv.Handle("Cluster.Provision", rpc.Typed(func(in ClusterProvisionRequest) (struct{}, error) {
+	srv.Handle(prefix+".Provision", rpc.Typed(func(in ClusterProvisionRequest) (struct{}, error) {
 		if len(in.Provisions) != len(systems) {
 			return struct{}{}, fmt.Errorf("got %d provisions for %d devices", len(in.Provisions), len(systems))
 		}

@@ -31,6 +31,18 @@ func FuzzFrameRoundTrip(f *testing.F) {
 	f.Add([]byte{0x04, 0x00, 0x00, 0x00})                // claims 64 MiB, delivers 0
 	f.Add(append(frame([]byte(`{"id":2}`)), 0xde, 0xad)) // valid frame + trailing junk
 
+	// Federation wire messages (routing, spill placement, the enclave key
+	// hand-off), seeded so the corpus explores the tier's frame shapes:
+	// session addressing, nested placement fields, byte-array report blobs
+	// and base64 key material inside JSON, batch envelopes.
+	f.Add(frame([]byte(`{"id":3,"method":"Federation.Route","params":{"tenant":"tenant-7","key":"dataset-41"}}`)))
+	f.Add(frame([]byte(`{"id":3,"result":{"shard":"gw2","addr":"127.0.0.1:7012","epoch":5}}`)))
+	f.Add(frame([]byte(`{"id":4,"method":"Federation.RunJob","params":{"tenant":"t","key":"k","kernel":"Conv","params":[4,4,1,0],"sealed_input":"3q2+7w==","class":"critical","deadline_ms":1500}}`)))
+	f.Add(frame([]byte(`{"id":4,"result":{"sealed_output":"3q2+7w==","shard":"gw1","spilled":true}}`)))
+	f.Add(frame([]byte(`{"id":5,"method":"Federation.RunBatch","params":{"key":"k","kernel":"Conv","jobs":[{"params":[1,2,3,4],"sealed_input":"AA=="},{"params":[0,0,0,0],"sealed_input":""}]}}`)))
+	f.Add(frame([]byte(`{"id":6,"method":"Federation.Handoff","params":{"report":{"MRENCLAVE":[1,2,3],"Version":1,"Debug":false,"ReportData":[9,9],"MAC":"q83v"},"recipient_pub":"BAUG"}}`)))
+	f.Add(frame([]byte(`{"id":6,"result":{"sender_pub":"AAEC","sealed":"AAECAwQFBgc="}}`)))
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		body, err := readRawFrame(bytes.NewReader(data))
 		if err == nil {
@@ -105,5 +117,37 @@ func TestReadRawFrameBoundedAlloc(t *testing.T) {
 	}
 	if len(got) != MaxFrame {
 		t.Fatalf("decoded %d bytes, want %d", len(got), MaxFrame)
+	}
+}
+
+// TestFederationFrameBoundedAlloc pins the bounded-alloc property for the
+// federation tier's frames specifically: a peer opening what looks like a
+// legitimate Federation.Handoff or RunJob request — a real JSON prefix with
+// a max-size length claim — but delivering only the prefix must cost memory
+// proportional to the delivered bytes. Hand-off grants and sealed job
+// payloads are the frames an attacker would inflate, since gateways relay
+// them between regions.
+func TestFederationFrameBoundedAlloc(t *testing.T) {
+	prefixes := [][]byte{
+		[]byte(`{"id":6,"method":"Federation.Handoff","params":{"report":{"MRENCLAVE":[`),
+		[]byte(`{"id":4,"method":"Federation.RunJob","params":{"key":"k","sealed_input":"`),
+		[]byte(`{"id":5,"method":"Federation.RunBatch","params":{"jobs":[{"sealed_input":"`),
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for _, p := range prefixes {
+		hdr := make([]byte, 4)
+		binary.BigEndian.PutUint32(hdr, MaxFrame) // claims 64 MiB
+		stream := append(hdr, p...)               // delivers a few dozen bytes
+		for i := 0; i < 8; i++ {
+			if _, err := readRawFrame(bytes.NewReader(stream)); !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("truncated federation frame: err = %v, want unexpected EOF", err)
+			}
+		}
+	}
+	runtime.ReadMemStats(&after)
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 32<<20 {
+		t.Fatalf("truncated federation frames allocated %d bytes — decoder trusts the length prefix", grew)
 	}
 }
