@@ -3,10 +3,10 @@ GO ?= go
 # Packages whose statement coverage is gated in CI (the observability layer
 # and the two subsystems its health signals come from), and the floor they
 # must clear.
-COVER_PKGS = salus/internal/metrics salus/internal/sched salus/internal/fleet
+COVER_PKGS = salus/internal/metrics salus/internal/sched salus/internal/fleet salus/internal/place
 COVER_FLOOR = 75
 
-.PHONY: all build test vet lint race tier1 ci cover cover-check fmt-check bench bench-smoke bench-sched bench-sched-gate bench-overload bench-degraded bench-fleet bench-metrics bench-federation clean
+.PHONY: all build test vet lint race tier1 ci cover cover-check fmt-check bench bench-smoke bench-sched bench-sched-gate bench-overload bench-degraded bench-fleet bench-metrics bench-federation bench-multitenant clean
 
 all: build test
 
@@ -68,6 +68,7 @@ ci: fmt-check vet lint
 	$(MAKE) bench-sched-gate
 	$(MAKE) bench-overload
 	$(MAKE) bench-federation
+	$(MAKE) bench-multitenant
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -101,6 +102,13 @@ bench-overload:
 # only onto the new shard; leave restores prior ownership exactly).
 bench-federation:
 	SALUS_BENCH_SMOKE=1 $(GO) test -run 'TestFederationGate$$' -v . | grep -E 'goodput|moved|hand-off|ok|FAIL|PASS'
+
+# Multi-tenant spatial-sharing gate: on identical hardware (2 boards), 4
+# RPs per board must serve a 16-tenant job mix at >= 2x the aggregate
+# goodput of board-granular scheduling, with every partition taking work
+# (see TestMultiTenantGate).
+bench-multitenant:
+	SALUS_BENCH_SMOKE=1 $(GO) test -run 'TestMultiTenantGate$$' -v . | grep -E 'goodput|partition|ok|FAIL|PASS'
 
 # Degraded pool: 3 devices with one permanently broken vs 2 healthy.
 bench-degraded:

@@ -155,7 +155,7 @@ func runFleet(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("fleet membership (%d boards):\n", len(stats))
+	fmt.Printf("fleet membership (%d boards, %d partitions):\n", boardCount(stats), len(stats))
 	for _, ds := range stats {
 		state := "healthy"
 		switch {
@@ -166,8 +166,8 @@ func runFleet(args []string) {
 		case ds.Draining:
 			state = "draining"
 		}
-		fmt.Printf("  %-12s %-10s completed=%-4d failed=%-3d retried=%-3d queued=%-3d %s\n",
-			ds.DNA, ds.Kernel, ds.Completed, ds.Failed, ds.Retried, ds.Queued, state)
+		fmt.Printf("  %-16s %-10s completed=%-4d failed=%-3d retried=%-3d queued=%-3d %s%s\n",
+			rpLabel(ds), ds.Kernel, ds.Completed, ds.Failed, ds.Retried, ds.Queued, state, tenantTag(ds))
 	}
 }
 
@@ -260,8 +260,8 @@ func runCluster(raw []byte, addr, kernel string, jobs int, batch bool, qos *remo
 		if ds.Quarantined {
 			state = "QUARANTINED"
 		}
-		fmt.Printf("  %-12s %-10s completed=%-4d failed=%-3d retried=%-3d %s\n",
-			ds.DNA, ds.Kernel, ds.Completed, ds.Failed, ds.Retried, state)
+		fmt.Printf("  %-16s %-10s completed=%-4d failed=%-3d retried=%-3d %s%s\n",
+			rpLabel(ds), ds.Kernel, ds.Completed, ds.Failed, ds.Retried, state, tenantTag(ds))
 	}
 	if failed > 0 {
 		os.Exit(1)

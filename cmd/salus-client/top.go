@@ -104,7 +104,7 @@ func renderTop(stats []sched.DeviceStats, snap metrics.Snapshot) string {
 		}
 	}
 
-	fmt.Fprintf(&b, "salus top — %s — %d devices\n", now, len(stats))
+	fmt.Fprintf(&b, "salus top — %s — %d boards / %d RPs\n", now, boardCount(stats), len(stats))
 	fmt.Fprintf(&b, "  queue depth   %d queued (gauge %d)\n",
 		queued, snap.Gauges["salus_sched_queue_depth"])
 	fmt.Fprintf(&b, "  health        %d quarantined, %d written off, %d draining (%d quarantine events, %d readmissions)\n",
@@ -139,10 +139,36 @@ func renderTop(stats []sched.DeviceStats, snap metrics.Snapshot) string {
 		case ds.Draining:
 			state = "draining"
 		}
-		fmt.Fprintf(&b, "  %-12s %-10s queued=%-3d completed=%-4d failed=%-3d %s\n",
-			ds.DNA, ds.Kernel, ds.Queued, ds.Completed, ds.Failed, state)
+		fmt.Fprintf(&b, "  %-16s %-10s queued=%-3d completed=%-4d failed=%-3d %s%s\n",
+			rpLabel(ds), ds.Kernel, ds.Queued, ds.Completed, ds.Failed, state, tenantTag(ds))
 	}
 	return b.String()
+}
+
+// rpLabel names one scheduler row: the board DNA alone for a classic
+// single-partition device, "DNA/rpN" under spatial sharing.
+func rpLabel(ds sched.DeviceStats) string {
+	if ds.RP == 0 && ds.Tenant == "" {
+		return string(ds.DNA)
+	}
+	return fmt.Sprintf("%s/rp%d", ds.DNA, ds.RP)
+}
+
+// tenantTag renders a dedicated partition's tenant, or nothing.
+func tenantTag(ds sched.DeviceStats) string {
+	if ds.Tenant == "" {
+		return ""
+	}
+	return fmt.Sprintf(" tenant=%s", ds.Tenant)
+}
+
+// boardCount counts distinct DNAs across the per-RP stat rows.
+func boardCount(stats []sched.DeviceStats) int {
+	seen := make(map[string]bool, len(stats))
+	for _, ds := range stats {
+		seen[string(ds.DNA)] = true
+	}
+	return len(seen)
 }
 
 // hitRate renders "hits/total (pct)" for a cache's hit and cold counters.

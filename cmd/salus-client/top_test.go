@@ -14,7 +14,7 @@ import (
 // hit rate, quarantine count, and p99 job latency.
 func TestRenderTop(t *testing.T) {
 	reg := metrics.NewRegistry()
-	reg.Gauge("salus_sched_queue_depth").Set(5)
+	reg.Gauge("salus_sched_queue_depth").Set(6)
 	reg.Counter("salus_sched_submitted_total").Add(120)
 	reg.Counter("salus_sched_completed_total").Add(117)
 	reg.Counter("salus_sched_failed_total").Add(3)
@@ -29,13 +29,16 @@ func TestRenderTop(t *testing.T) {
 
 	stats := []sched.DeviceStats{
 		{DNA: "POOL-00", Kernel: "Conv", Queued: 3, Completed: 60},
+		{DNA: "POOL-00", RP: 1, Tenant: "acme", Kernel: "Conv", Queued: 1, Completed: 12},
 		{DNA: "POOL-01", Kernel: "Conv", Queued: 2, Completed: 57, Failed: 3, Quarantined: true},
 	}
 	out := renderTop(stats, reg.Snapshot())
 
 	wants := []string{
-		"2 devices",
-		"5 queued",               // live queue depth (gauge agrees with stats)
+		"2 boards / 3 RPs",       // RP-granular capacity, board-granular hardware
+		"POOL-00/rp1",            // co-resident partition labelled by RP index
+		"tenant=acme",            // dedicated partition shows its tenant
+		"6 queued",               // live queue depth (gauge agrees with stats)
 		"1 quarantined",          // quarantine count from device stats
 		"p99",                    // job latency quantiles
 		"manipulation 3/4 (75%)", // prepared-cache hit rate
@@ -77,7 +80,7 @@ func TestRenderTopAggregatesGateways(t *testing.T) {
 	out := renderTop(stats, metrics.MergeSnapshots(gw1.Snapshot(), gw2.Snapshot()))
 
 	wants := []string{
-		"2 devices",
+		"2 boards / 2 RPs",
 		"7 queued",         // gauges summed across gateways
 		"140 submitted",    // counters summed across gateways
 		"p99 524.288ms",    // gw2's outlier visible in the merged quantiles

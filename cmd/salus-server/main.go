@@ -23,6 +23,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"time"
 
 	"salus"
@@ -44,6 +46,27 @@ func ceiling(max int) string {
 	return fmt.Sprintf("%d", max)
 }
 
+// parseTenantWeights parses "-tenant-weights" ('name=weight' pairs,
+// comma-separated) into a sched fair-share map; empty input means nil.
+func parseTenantWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	weights := make(map[string]int)
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-tenant-weights: %q is not name=weight", pair)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("-tenant-weights: %q needs a positive integer weight", pair)
+		}
+		weights[name] = w
+	}
+	return weights, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("salus-server: ")
@@ -52,6 +75,8 @@ func main() {
 	instAddr := flag.String("inst", "127.0.0.1:7002", "instance / cluster gateway address")
 	expPath := flag.String("exp", "salus-expectations.json", "where to write the data owner's expectations")
 	devices := flag.Int("devices", 1, "number of FPGA devices; >1 serves a cluster gateway with a job scheduler")
+	rpsPerDevice := flag.Int("rps-per-device", 1, "cluster mode: reconfigurable partitions carved per board, each an independent serving unit")
+	tenantWeights := flag.String("tenant-weights", "", "cluster mode: per-tenant fair-share weights, e.g. 'gold=3,bronze=1' (unlisted tenants weigh 1)")
 	queue := flag.Int("queue", sched.DefaultQueueDepth, "cluster mode: per-device job queue depth")
 	retries := flag.Int("retries", sched.DefaultMaxRetries, "cluster mode: re-dispatch attempts for device faults (negative disables)")
 	quarAfter := flag.Int("quarantine-after", sched.DefaultQuarantineAfter, "cluster mode: consecutive faults before a device is quarantined")
@@ -75,6 +100,13 @@ func main() {
 	}
 	if *devices < 1 {
 		log.Fatalf("-devices must be >= 1, got %d", *devices)
+	}
+	if *rpsPerDevice < 1 {
+		log.Fatalf("-rps-per-device must be >= 1, got %d", *rpsPerDevice)
+	}
+	weights, err := parseTenantWeights(*tenantWeights)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	mfr, err := manufacturer.New()
@@ -129,12 +161,14 @@ func main() {
 			Manufacturer: mfr,
 			KeyService:   kc,
 			Timing:       salus.FastTiming(),
+			RPsPerDevice: *rpsPerDevice,
 			Scheduler: sched.Config{
 				QueueDepth:      *queue,
 				MaxRetries:      *retries,
 				QuarantineAfter: *quarAfter,
 				QuarantineBase:  *quarBase,
 				PermanentAfter:  *permAfter,
+				TenantWeights:   weights,
 			},
 			MinDevices: *minDevices,
 			MaxDevices: *maxDevices,
@@ -182,8 +216,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("deployed %s CL on %d devices (digest %x...), elastic %d..%s\n",
-			*kernel, *devices, systems[0].Package.Digest[:8], *minDevices, ceiling(*maxDevices))
+		fmt.Printf("deployed %s CL on %d boards x %d RPs = %d partitions (digest %x...), elastic %d..%s boards\n",
+			*kernel, *devices, *rpsPerDevice, len(systems), systems[0].Package.Digest[:8], *minDevices, ceiling(*maxDevices))
+		if len(weights) > 0 {
+			fmt.Printf("tenant fair share:   %s\n", *tenantWeights)
+		}
 	}
 
 	if err := os.WriteFile(*expPath, expJSON, 0o644); err != nil {

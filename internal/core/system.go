@@ -57,6 +57,13 @@ type SystemConfig struct {
 	// multi-tenant multiplexing). Requires Manufacturer — the service that
 	// holds this device's key.
 	Device *fpga.Device
+	// Partition selects which reconfigurable partition of the device this
+	// system deploys into (§4.7 multi-RP extension). Every channel this
+	// system opens — deployment, secure register traffic, DMA — is
+	// addressed to this partition, so co-resident systems on one die share
+	// nothing but the silicon: each has its own sealed channel, monotonic
+	// counter, and key epoch. Default 0; must be < Device.Partitions().
+	Partition int
 
 	// HostPlatform reuses an existing TEE host platform instead of creating
 	// a fresh one. Fleet members on one physical host must share a platform:
@@ -87,9 +94,11 @@ type System struct {
 	Trace  *trace.Log
 	Timing Timing
 
-	jobMu   sync.Mutex
-	dataKey []byte // the data owner's copy; the enclave holds its own
-	booted  bool
+	jobMu     sync.Mutex
+	dataKey   []byte // the data owner's copy; the enclave holds its own
+	booted    bool
+	reclaimed bool
+	partition int
 
 	// Cached per-session job state (guarded by jobMu): once the data key
 	// and a base IV are exchanged over the secure register channel, repeat
@@ -147,6 +156,9 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	} else if dev.Profile().Name != cfg.Profile.Name {
 		return nil, fmt.Errorf("core: device profile %s does not match config %s", dev.Profile().Name, cfg.Profile.Name)
 	}
+	if cfg.Partition < 0 || cfg.Partition >= dev.Partitions() {
+		return nil, fmt.Errorf("core: partition %d out of range, device %s has %d", cfg.Partition, dev.DNA(), dev.Partitions())
+	}
 	host := cfg.HostPlatform
 	if host == nil {
 		var err error
@@ -180,6 +192,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		Platform:         host,
 		Manufacturer:     keySvc,
 		Shell:            sh,
+		Partition:        cfg.Partition,
 		Clock:            clock,
 		Trace:            tr,
 		ManufacturerLink: cfg.Timing.IntraCloud,
@@ -200,6 +213,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		UserProgram: cfg.UserProgram,
 		SM:          sm,
 		Shell:       sh,
+		Partition:   cfg.Partition,
 		Clock:       clock,
 		Trace:       tr,
 		Slowdown:    cfg.Timing.EnclaveSlowdown,
@@ -224,7 +238,74 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		Trace:        tr,
 		Timing:       cfg.Timing,
 		rekeyEvery:   rekeyEvery,
+		partition:    cfg.Partition,
 	}, nil
+}
+
+// Partition returns the reconfigurable partition index this system deploys
+// into and addresses all of its channel traffic to.
+func (s *System) Partition() int { return s.partition }
+
+// NewPartitionSystems manufactures ONE device exposing rps reconfigurable
+// partitions and assembles one System per partition around it — the §4.7
+// multi-RP shape with a full per-tenant job path on every RP. The systems
+// share the die (and the template's manufacturer, host platform, and boot
+// caches) but nothing else: each has its own SM and user enclave pair, its
+// own sealed register channel with an independent monotonic counter, and
+// its own data-key epoch, so co-resident tenants cannot observe or replay
+// each other's traffic. The template's Device must be nil and its Partition
+// zero; its DNA names the die.
+func NewPartitionSystems(template SystemConfig, rps int) ([]*System, error) {
+	if rps < 1 {
+		return nil, fmt.Errorf("core: %d partitions requested, need >= 1", rps)
+	}
+	if template.Device != nil {
+		return nil, fmt.Errorf("core: NewPartitionSystems manufactures its own device; Device must be nil")
+	}
+	if template.Partition != 0 {
+		return nil, fmt.Errorf("core: NewPartitionSystems assigns partitions; Partition must be 0")
+	}
+	if template.Profile.Name == "" {
+		template.Profile = netlist.TestDevice
+	}
+	mfr := template.Manufacturer
+	if mfr == nil {
+		var err error
+		mfr, err = manufacturer.New()
+		if err != nil {
+			return nil, err
+		}
+		template.Manufacturer = mfr
+	}
+	if template.DNA == "" {
+		template.DNA = "A58275817"
+	}
+	opts := append([]fpga.Option{fpga.WithPartitions(rps)}, template.DeviceOpts...)
+	dev, err := mfr.ManufactureDevice(template.Profile, template.DNA, opts...)
+	if err != nil {
+		return nil, err
+	}
+	// Co-resident systems must share a host platform: fleet sibling key
+	// hand-offs ride SGX local attestation, which only verifies within one.
+	if template.HostPlatform == nil {
+		host, err := sgx.NewPlatform(mfr.Authority())
+		if err != nil {
+			return nil, err
+		}
+		template.HostPlatform = host
+	}
+	systems := make([]*System, rps)
+	for i := range systems {
+		cfg := template
+		cfg.Device = dev
+		cfg.Partition = i
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: partition %d of %s: %w", i, template.DNA, err)
+		}
+		systems[i] = sys
+	}
+	return systems, nil
 }
 
 // Expectations returns the data owner's pinned identities for this
@@ -322,6 +403,9 @@ func (s *System) SecureBootWithKey(dataKey []byte) (*BootReport, error) {
 func (s *System) BootAndQuote(nonce []byte) (sgx.Quote, error) {
 	if s.booted {
 		return sgx.Quote{}, fmt.Errorf("core: system already booted")
+	}
+	if s.reclaimed {
+		return sgx.Quote{}, fmt.Errorf("core: system reclaimed; re-placement needs a fresh System")
 	}
 
 	// ② RA request + metadata travel over the WAN.
@@ -486,6 +570,44 @@ func (s *System) FinishAdoptDataKey(grant userapp.KeyGrant) error {
 // Booted reports whether the boot (including data-key provisioning)
 // completed.
 func (s *System) Booted() bool { return s.booted }
+
+// Reclaim decommissions the system's tenancy: it zeroizes every copy of
+// key material the deployment holds — the host-side data key and cached
+// session key/IV, the user enclave's data key and attestation secrets, and
+// the SM enclave's device/attestation/session keys — and marks the system
+// unbootable. An RP must be reclaimed after its tenant is drained and
+// before the partition is re-placed to a new tenant: the next tenant boots
+// a fresh System on the same (device, partition) pair, and nothing of the
+// previous occupant survives to be replayed against it. Serialised against
+// in-flight jobs; idempotent.
+func (s *System) Reclaim() {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	zeroBytes(s.sessKey)
+	zeroBytes(s.sessIV)
+	s.sessKey, s.sessIV, s.sessJobs = nil, nil, 0
+	zeroBytes(s.dataKey)
+	s.dataKey = nil
+	s.User.Zeroize()
+	s.SM.Zeroize()
+	s.booted = false
+	s.reclaimed = true
+}
+
+// Reclaimed reports whether Reclaim ran; a reclaimed system never serves
+// again — re-placement builds a fresh System on the same partition.
+func (s *System) Reclaimed() bool {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	return s.reclaimed
+}
+
+// zeroBytes overwrites key material in place before the slice is dropped.
+func zeroBytes(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
 
 // chargeWAN runs a clock-charging network operation and mirrors the charge
 // into the trace's network phase, so the Figure 9 breakdown accounts for

@@ -40,6 +40,7 @@ import (
 	"salus/internal/manufacturer"
 	"salus/internal/metrics"
 	"salus/internal/netlist"
+	"salus/internal/place"
 	"salus/internal/sched"
 	"salus/internal/sgx"
 	"salus/internal/shell"
@@ -82,6 +83,16 @@ type Config struct {
 	Profile netlist.DeviceProfile
 	// DNAPrefix names manufactured boards ("<prefix>-NN"); default "FLEET".
 	DNAPrefix string
+	// RPsPerDevice carves every manufactured board into this many
+	// reconfigurable partitions, each booting its own core.System — own
+	// sealed channel, counter, and key epoch — and registering with the
+	// scheduler as an independent serving unit (§4.7 spatial sharing). K
+	// boards therefore serve K×RPsPerDevice schedulable partitions.
+	// MinDevices/MaxDevices still count boards. Zero or one selects the
+	// classic one-system-per-board fleet. New rejects a configuration
+	// whose kernel plus SM logic cannot fit the profile's per-RP budget
+	// (place.ErrUnplaceable).
+	RPsPerDevice int
 
 	// Manufacturer reuses an existing service (e.g. one already serving
 	// RPC); nil creates a fresh one.
@@ -129,11 +140,13 @@ type Manager struct {
 
 	bootTrace *trace.Log // merged per-device boot traces (Figure-9 fleet report)
 
+	rps int // partitions per board (>= 1)
+
 	mu      sync.Mutex
-	members map[fpga.DNA]*core.System
-	key     []byte // shared data key (owner mode); nil in sibling mode
+	members map[fpga.DNA][]*core.System // every adopted RP of each board
+	key     []byte                      // shared data key (owner mode); nil in sibling mode
 	seq     int
-	pending int // spawned but not yet adopted
+	pending int // boards spawned but not yet adopted
 	closed  bool
 
 	stopOnce sync.Once
@@ -152,6 +165,19 @@ func New(cfg Config) (*Manager, error) {
 	}
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = DefaultDrainTimeout
+	}
+	rps := cfg.RPsPerDevice
+	if rps < 1 {
+		rps = 1
+	}
+	profile := cfg.Profile
+	if profile.Name == "" {
+		profile = netlist.TestDevice
+	}
+	// Footprint-aware admission: refuse a fleet whose kernel cannot live
+	// in one partition's budget before any board is manufactured.
+	if _, err := place.Pack([]place.Footprint{place.KernelFootprint(cfg.Kernel)}, 1, profile.RPResources, cfg.Seed); err != nil {
+		return nil, fmt.Errorf("fleet: kernel %s with %d RPs/board: %w", cfg.Kernel.Name(), rps, err)
 	}
 	mfr := cfg.Manufacturer
 	if mfr == nil {
@@ -183,12 +209,17 @@ func New(cfg Config) (*Manager, error) {
 		host:      host,
 		prepared:  prepared,
 		quotes:    quotes,
+		rps:       rps,
 		sch:       sched.New(cfg.Scheduler),
 		bootTrace: trace.New(),
-		members:   make(map[fpga.DNA]*core.System),
+		members:   make(map[fpga.DNA][]*core.System),
 		stopCh:    make(chan struct{}),
 	}, nil
 }
+
+// RPsPerDevice reports how many reconfigurable partitions each board
+// serves.
+func (m *Manager) RPsPerDevice() int { return m.rps }
 
 // Scheduler exposes the underlying pool for job submission.
 func (m *Manager) Scheduler() *sched.Scheduler { return m.sch }
@@ -218,19 +249,34 @@ func (m *Manager) Members() []fpga.DNA {
 	return out
 }
 
-// System returns the member with the DNA, or nil.
+// System returns the board's lowest-numbered partition system, or nil.
 func (m *Manager) System(dna fpga.DNA) *core.System {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.members[dna]
+	var best *core.System
+	for _, sys := range m.members[dna] {
+		if best == nil || sys.Partition() < best.Partition() {
+			best = sys
+		}
+	}
+	return best
+}
+
+// Systems returns every adopted partition system of the board (adoption
+// order), or nil.
+func (m *Manager) Systems(dna fpga.DNA) []*core.System {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*core.System(nil), m.members[dna]...)
 }
 
 // Stats snapshots the scheduler's per-device counters.
 func (m *Manager) Stats() []sched.DeviceStats { return m.sch.Stats() }
 
-// spawn manufactures a board and assembles its (unbooted) system around the
-// fleet's shared manufacturer, platform, and boot caches.
-func (m *Manager) spawn(ignoreCap bool) (*core.System, error) {
+// spawn manufactures one board carved into the fleet's RPsPerDevice
+// partitions and assembles its (unbooted) per-partition systems around
+// the fleet's shared manufacturer, platform, and boot caches.
+func (m *Manager) spawn(ignoreCap bool) ([]*core.System, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -260,14 +306,15 @@ func (m *Manager) spawn(ignoreCap bool) (*core.System, error) {
 	if m.cfg.Intercept != nil {
 		cfg.Interceptor = m.cfg.Intercept(dna)
 	}
-	sys, err := core.NewSystem(cfg)
+	systems, err := core.NewPartitionSystems(cfg, m.rps)
 	if err != nil {
 		m.unspawn()
 		return nil, err
 	}
-	return sys, nil
+	return systems, nil
 }
 
+// unspawn rolls back one board's pending slot.
 func (m *Manager) unspawn() {
 	m.mu.Lock()
 	if m.pending > 0 {
@@ -278,28 +325,44 @@ func (m *Manager) unspawn() {
 
 // Spawn creates one unbooted member-to-be. The remote gateway path uses
 // this: the data owner attests and provisions the spawned systems over RPC,
-// then the gateway Adopts them.
-func (m *Manager) Spawn() (*core.System, error) { return m.spawn(false) }
+// then the gateway Adopts them. With RPsPerDevice > 1 a board is several
+// systems, so use SpawnN (which returns every partition) instead.
+func (m *Manager) Spawn() (*core.System, error) {
+	if m.rps > 1 {
+		return nil, fmt.Errorf("fleet: Spawn returns one system but each board carries %d partitions; use SpawnN", m.rps)
+	}
+	systems, err := m.spawn(false)
+	if err != nil {
+		return nil, err
+	}
+	return systems[0], nil
+}
 
-// SpawnN creates k unbooted systems.
+// SpawnN creates k unbooted boards and returns their k×RPsPerDevice
+// partition systems, flattened board-major (board 0's partitions 0..R-1,
+// then board 1's, ...).
 func (m *Manager) SpawnN(k int) ([]*core.System, error) {
-	systems := make([]*core.System, 0, k)
+	systems := make([]*core.System, 0, k*m.rps)
+	boards := 0
 	for i := 0; i < k; i++ {
-		sys, err := m.Spawn()
+		batch, err := m.spawn(false)
 		if err != nil {
-			for range systems {
+			for b := 0; b < boards; b++ {
 				m.unspawn()
 			}
 			return nil, err
 		}
-		systems = append(systems, sys)
+		boards++
+		systems = append(systems, batch...)
 	}
 	return systems, nil
 }
 
 // Adopt registers an externally booted system (e.g. provisioned through the
 // remote gateway) as a fleet member and folds its boot trace into the
-// fleet report.
+// fleet report. Each partition of a multi-RP board is adopted on its own;
+// the board becomes a member (and releases its pending slot) with its
+// first adopted partition.
 func (m *Manager) Adopt(sys *core.System) error {
 	if sys == nil {
 		return fmt.Errorf("fleet: nil system")
@@ -310,21 +373,26 @@ func (m *Manager) Adopt(sys *core.System) error {
 		m.mu.Unlock()
 		return fmt.Errorf("fleet: manager closed")
 	}
-	if _, dup := m.members[dna]; dup {
-		m.mu.Unlock()
-		return fmt.Errorf("fleet: device %s already a member", dna)
+	for _, member := range m.members[dna] {
+		if member.Partition() == sys.Partition() {
+			m.mu.Unlock()
+			return fmt.Errorf("fleet: partition %s/rp%d already a member", dna, sys.Partition())
+		}
 	}
 	m.mu.Unlock()
 	if err := m.sch.Register(sys); err != nil {
 		return err
 	}
 	m.mu.Lock()
-	m.members[dna] = sys
-	if m.pending > 0 {
+	firstRP := len(m.members[dna]) == 0
+	m.members[dna] = append(m.members[dna], sys)
+	if firstRP && m.pending > 0 {
 		m.pending--
 	}
 	m.mu.Unlock()
-	mMembers.Add(1)
+	if firstRP {
+		mMembers.Add(1)
+	}
 	m.bootTrace.Merge(sys.Trace)
 	trace.FeedHistograms(metrics.Default(), sys.Trace, bootPhasePrefix)
 	var bootTotal time.Duration
@@ -337,10 +405,11 @@ func (m *Manager) Adopt(sys *core.System) error {
 	return nil
 }
 
-// BootFleet spawns and securely boots k members in parallel with one shared
-// data key (owner mode), registering all of them. Atomic like
-// sched.BootShared: a single board failing mid-boot fails the whole call
-// and no board holds the key.
+// BootFleet spawns and securely boots k boards — k×RPsPerDevice partition
+// systems — in parallel with one shared data key (owner mode),
+// registering all of them. Atomic like sched.BootShared: a single
+// partition failing mid-boot fails the whole call and nothing holds the
+// key.
 func (m *Manager) BootFleet(k int) error {
 	if k <= 0 {
 		return fmt.Errorf("fleet: boot of %d devices", k)
@@ -351,7 +420,7 @@ func (m *Manager) BootFleet(k int) error {
 	}
 	key, err := sched.BootSharedParallel(systems)
 	if err != nil {
-		for range systems {
+		for i := 0; i < k; i++ {
 			m.unspawn()
 		}
 		return err
@@ -376,24 +445,32 @@ func (m *Manager) Donor() *core.System { return m.pickDonor() }
 // pickDonor returns a booted member for the sibling hand-off, preferring
 // healthy boards over quarantined or draining ones.
 func (m *Manager) pickDonor() *core.System {
-	bad := make(map[fpga.DNA]bool)
+	// bad marks individual partitions, not whole boards: a quarantined RP's
+	// healthy co-resident sibling is still a fine donor.
+	type rpKey struct {
+		dna fpga.DNA
+		rp  int
+	}
+	bad := make(map[rpKey]bool)
 	for _, ds := range m.sch.Stats() {
 		if ds.Permanent || ds.Draining || ds.Quarantined {
-			bad[ds.DNA] = true
+			bad[rpKey{ds.DNA, ds.RP}] = true
 		}
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var fallback *core.System
-	for dna, sys := range m.members {
-		if !sys.Booted() {
-			continue
+	for dna, systems := range m.members {
+		for _, sys := range systems {
+			if !sys.Booted() {
+				continue
+			}
+			if bad[rpKey{dna, sys.Partition()}] {
+				fallback = sys
+				continue
+			}
+			return sys
 		}
-		if bad[dna] {
-			fallback = sys
-			continue
-		}
-		return sys
 	}
 	return fallback
 }
@@ -420,30 +497,35 @@ func (m *Manager) bootSibling(sys *core.System) error {
 }
 
 func (m *Manager) add(ignoreCap bool) (fpga.DNA, error) {
-	sys, err := m.spawn(ignoreCap)
+	systems, err := m.spawn(ignoreCap)
 	if err != nil {
 		mAddFails.Inc()
 		return "", err
 	}
+	dna := systems[0].Device.DNA()
 	m.mu.Lock()
 	key := m.key
 	m.mu.Unlock()
-	if key != nil {
-		_, err = sys.SecureBootWithKey(key)
-	} else {
-		err = m.bootSibling(sys)
+	for _, sys := range systems {
+		if key != nil {
+			_, err = sys.SecureBootWithKey(key)
+		} else {
+			err = m.bootSibling(sys)
+		}
+		if err != nil {
+			m.unspawn()
+			mAddFails.Inc()
+			return "", fmt.Errorf("fleet: hot add %s/rp%d: %w", dna, sys.Partition(), err)
+		}
 	}
-	if err != nil {
-		m.unspawn()
-		mAddFails.Inc()
-		return "", fmt.Errorf("fleet: hot add %s: %w", sys.Device.DNA(), err)
-	}
-	if err := m.Adopt(sys); err != nil {
-		mAddFails.Inc()
-		return "", err
+	for _, sys := range systems {
+		if err := m.Adopt(sys); err != nil {
+			mAddFails.Inc()
+			return "", err
+		}
 	}
 	mAdds.Inc()
-	return sys.Device.DNA(), nil
+	return dna, nil
 }
 
 // Add hot-adds one board: manufacture, secure boot (owner mode when the
@@ -455,22 +537,27 @@ func (m *Manager) Add() (fpga.DNA, error) { return m.add(false) }
 // AddSibling hot-adds one board via the sibling enclave hand-off even when
 // the manager holds the key (e.g. to exercise the no-owner-roundtrip path).
 func (m *Manager) AddSibling() (fpga.DNA, error) {
-	sys, err := m.spawn(false)
+	systems, err := m.spawn(false)
 	if err != nil {
 		mAddFails.Inc()
 		return "", err
 	}
-	if err := m.bootSibling(sys); err != nil {
-		m.unspawn()
-		mAddFails.Inc()
-		return "", fmt.Errorf("fleet: hot add %s: %w", sys.Device.DNA(), err)
+	dna := systems[0].Device.DNA()
+	for _, sys := range systems {
+		if err := m.bootSibling(sys); err != nil {
+			m.unspawn()
+			mAddFails.Inc()
+			return "", fmt.Errorf("fleet: hot add %s/rp%d: %w", dna, sys.Partition(), err)
+		}
 	}
-	if err := m.Adopt(sys); err != nil {
-		mAddFails.Inc()
-		return "", err
+	for _, sys := range systems {
+		if err := m.Adopt(sys); err != nil {
+			mAddFails.Inc()
+			return "", err
+		}
 	}
 	mAdds.Inc()
-	return sys.Device.DNA(), nil
+	return dna, nil
 }
 
 // Drain stops routing to the member and waits (bounded by DrainTimeout)
@@ -540,6 +627,10 @@ func (m *Manager) AutoReplaceOnce() (map[fpga.DNA]fpga.DNA, error) {
 	var firstErr error
 	for _, ds := range m.sch.Stats() {
 		if !ds.Permanent {
+			continue
+		}
+		// Stats rows are per-RP; replace each sick board once.
+		if _, done := replaced[ds.DNA]; done {
 			continue
 		}
 		newDNA, err := m.Replace(ds.DNA)

@@ -457,6 +457,101 @@ func TestDrainThenRemoveMember(t *testing.T) {
 	runJob(t, m, 11)
 }
 
+// TestMultiRPFleetLifecycle carves each board into two reconfigurable
+// partitions and walks the whole lifecycle at board granularity: boot,
+// serve, hot add (both key modes boot every RP), and remove — asserting
+// throughout that the scheduler sees K×R partitions while membership,
+// capacity bounds, and Min/MaxDevices keep counting boards.
+func TestMultiRPFleetLifecycle(t *testing.T) {
+	m := newManager(t, Config{DNAPrefix: "SPAT", RPsPerDevice: 2, MinDevices: 1, MaxDevices: 3})
+	if m.RPsPerDevice() != 2 {
+		t.Fatalf("RPsPerDevice = %d, want 2", m.RPsPerDevice())
+	}
+	if err := m.BootFleet(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.Members()); got != 2 {
+		t.Fatalf("fleet has %d boards, want 2", got)
+	}
+	if got := len(m.Stats()); got != 4 {
+		t.Fatalf("scheduler serves %d partitions, want 4 (2 boards x 2 RPs)", got)
+	}
+	if got := len(m.Systems("SPAT-00")); got != 2 {
+		t.Fatalf("board SPAT-00 holds %d systems, want 2", got)
+	}
+	if sys := m.System("SPAT-00"); sys == nil || sys.Partition() != 0 {
+		t.Fatal("System should return the board's partition 0")
+	}
+	for i := 0; i < 8; i++ {
+		runJob(t, m, int64(i))
+	}
+
+	// Spawn is ambiguous on a multi-RP fleet; SpawnN is the only grow door.
+	if _, err := m.Spawn(); err == nil {
+		t.Error("Spawn on a multi-RP fleet succeeded; want an error pointing at SpawnN")
+	}
+
+	// Hot add boots BOTH partitions of the new board (owner mode: each via
+	// SecureBootWithKey); capacity counts the board once.
+	dna, err := m.Add()
+	if err != nil {
+		t.Fatalf("hot add: %v", err)
+	}
+	if got := len(m.Systems(dna)); got != 2 {
+		t.Fatalf("hot-added board holds %d systems, want 2", got)
+	}
+	if got := len(m.Stats()); got != 6 {
+		t.Fatalf("scheduler serves %d partitions after add, want 6", got)
+	}
+	if _, err := m.Add(); err == nil {
+		t.Error("Add beyond MaxDevices boards succeeded")
+	}
+	runJob(t, m, 42)
+
+	// Remove decommissions the whole board: both RPs leave the scheduler.
+	if _, err := m.Remove("SPAT-01"); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if got := len(m.Members()); got != 2 {
+		t.Fatalf("fleet has %d boards after remove, want 2", got)
+	}
+	for _, ds := range m.Stats() {
+		if ds.DNA == "SPAT-01" {
+			t.Errorf("removed board still serves rp%d", ds.RP)
+		}
+	}
+	if got := len(m.Stats()); got != 4 {
+		t.Fatalf("scheduler serves %d partitions after remove, want 4", got)
+	}
+	runJob(t, m, 43)
+}
+
+// TestMultiRPSiblingHandoffKeysEveryPartition drives the no-owner grow path
+// on a spatially shared fleet: every partition of the added board receives
+// the data key from an attested sibling enclave, never from the host.
+func TestMultiRPSiblingHandoffKeysEveryPartition(t *testing.T) {
+	m := newManager(t, Config{DNAPrefix: "SIB", RPsPerDevice: 2})
+	if err := m.BootFleet(1); err != nil {
+		t.Fatal(err)
+	}
+	dna, err := m.AddSibling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	systems := m.Systems(dna)
+	if len(systems) != 2 {
+		t.Fatalf("sibling-added board holds %d systems, want 2", len(systems))
+	}
+	for _, sys := range systems {
+		if !sys.Booted() {
+			t.Errorf("partition rp%d not booted after sibling hand-off", sys.Partition())
+		}
+	}
+	for i := 0; i < 6; i++ {
+		runJob(t, m, int64(i))
+	}
+}
+
 // TestManagerValidation covers constructor and close-state errors.
 func TestManagerValidation(t *testing.T) {
 	if _, err := New(Config{}); err == nil {

@@ -1,0 +1,37 @@
+package sealedbound
+
+// RP-indexed boundary sinks (§4.7 spatial sharing): the partition index is
+// computed — a variable, a method call — rather than a literal. The rule
+// must keep resolving the FRAME argument by position, not by pattern-
+// matching the index, so per-RP dispatch code gets exactly the same
+// scrutiny as the classic partition-0 paths.
+
+type system struct {
+	sh *shell
+	rp int
+}
+
+func (s *system) Partition() int { return s.rp }
+
+func rpVarIndexed(sh *shell, sl sealer, ctr uint64, rp int, plain []byte) {
+	frame, err := sl.SealRegRequest(ctr, plain)
+	if err != nil {
+		return
+	}
+	sh.TransactPartition(rp, frame) // sealed upstream, variable RP: ok
+	sh.TransactPartition(rp, plain) // want "crosses the host↔CL boundary via TransactPartition"
+}
+
+func rpCallIndexed(s *system, sl sealer, ctr uint64, plain []byte) {
+	sealed, err := sl.SealRegRequest(ctr, plain)
+	if err != nil {
+		return
+	}
+	s.sh.TransactPartition(s.Partition(), sealed) // sealed upstream, computed RP: ok
+	s.sh.TransactPartition(s.Partition(), plain)  // want "crosses the host↔CL boundary via TransactPartition"
+}
+
+func rpAnnotated(s *system, header []byte) {
+	//lint:allow sealed-boundary per-RP DMA header is public (address, length) metadata; payloads are CTR-encrypted upstream
+	s.sh.TransactPartition(s.Partition(), header) // suppressed by the annotation above
+}

@@ -1,0 +1,48 @@
+package place
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseFootprint hardens the operator-facing footprint format: for any
+// input, ParseFootprint must return cleanly (no panic), and any accepted
+// footprint must round-trip through String back to an equal value.
+func FuzzParseFootprint(f *testing.F) {
+	for _, fp := range table5() {
+		f.Add(fp.String())
+	}
+	f.Add("SMLogic:27667/29631/88")
+	f.Add("Conv:19735/20169/329")
+	f.Add("")
+	f.Add("Conv")
+	f.Add(":1/2/3")
+	f.Add("Conv:1/2")
+	f.Add("Conv:1/2/3/4")
+	f.Add("Conv:a/2/3")
+	f.Add("Conv:1/-2/3")
+	f.Add("Conv:999999999999999999999999/1/1")
+	f.Add("Name:with:colon:0/0/0")
+	f.Fuzz(func(t *testing.T, s string) {
+		fp, err := ParseFootprint(s)
+		if err != nil {
+			return
+		}
+		if fp.Name == "" {
+			t.Fatalf("ParseFootprint(%q) accepted an empty name", s)
+		}
+		if fp.Res.LUT < 0 || fp.Res.Register < 0 || fp.Res.BRAM < 0 {
+			t.Fatalf("ParseFootprint(%q) accepted negative resources: %v", s, fp.Res)
+		}
+		again, err := ParseFootprint(fp.String())
+		if err != nil {
+			t.Fatalf("round trip of %q -> %q failed: %v", s, fp.String(), err)
+		}
+		if again != fp {
+			t.Fatalf("round trip of %q: %v != %v", s, again, fp)
+		}
+		if strings.Count(fp.String(), "/") != 2 {
+			t.Fatalf("rendered footprint %q is not in Name:LUT/REG/BRAM form", fp.String())
+		}
+	})
+}

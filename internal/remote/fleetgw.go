@@ -121,8 +121,16 @@ func ServeFleet(m *fleet.Manager, k int, addr string, opts ...GatewayOption) (*r
 }
 
 // shrinkOrder picks n decommission victims: permanently quarantined boards
-// first, then quarantined, then the least-loaded healthy boards.
+// first, then quarantined, then the least-loaded healthy boards. Stats
+// arrive one row per reconfigurable partition; a board's health is its
+// sickest RP, its load the sum over its RPs, and each board is named once
+// no matter how many partitions it serves.
 func shrinkOrder(stats []sched.DeviceStats, n int) []fpga.DNA {
+	type board struct {
+		dna    fpga.DNA
+		rank   int
+		queued int64
+	}
 	rank := func(ds sched.DeviceStats) int {
 		switch {
 		case ds.Permanent:
@@ -133,18 +141,32 @@ func shrinkOrder(stats []sched.DeviceStats, n int) []fpga.DNA {
 			return 2
 		}
 	}
-	sort.SliceStable(stats, func(i, j int) bool {
-		if ri, rj := rank(stats[i]), rank(stats[j]); ri != rj {
-			return ri < rj
+	byDNA := make(map[fpga.DNA]*board)
+	var boards []*board
+	for _, ds := range stats {
+		b := byDNA[ds.DNA]
+		if b == nil {
+			b = &board{dna: ds.DNA, rank: rank(ds)}
+			byDNA[ds.DNA] = b
+			boards = append(boards, b)
 		}
-		return stats[i].Queued < stats[j].Queued
+		if r := rank(ds); r < b.rank {
+			b.rank = r
+		}
+		b.queued += ds.Queued
+	}
+	sort.SliceStable(boards, func(i, j int) bool {
+		if boards[i].rank != boards[j].rank {
+			return boards[i].rank < boards[j].rank
+		}
+		return boards[i].queued < boards[j].queued
 	})
-	if n > len(stats) {
-		n = len(stats)
+	if n > len(boards) {
+		n = len(boards)
 	}
 	out := make([]fpga.DNA, n)
 	for i := 0; i < n; i++ {
-		out[i] = stats[i].DNA
+		out[i] = boards[i].dna
 	}
 	return out
 }

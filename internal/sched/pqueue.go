@@ -76,9 +76,9 @@ const (
 	pushClosed
 )
 
-// jobHeap orders one band by (deadline, submission sequence): EDF with
-// FIFO tie-break, so deadline-free jobs inside a band keep the old
-// channel's arrival order.
+// jobHeap orders one tenant's share of a band by (deadline, submission
+// sequence): EDF with FIFO tie-break, so deadline-free jobs inside a band
+// keep the old channel's arrival order.
 type jobHeap []*job
 
 func (h jobHeap) Len() int { return len(h) }
@@ -99,13 +99,84 @@ func (h *jobHeap) Pop() interface{} {
 	return j
 }
 
-// pqueue is one device's bounded priority queue: numClasses EDF heaps
-// popped highest band first, plus a FIFO of drain barriers that only pop
-// when every band is empty — the worker is sequential, so a barrier's
-// resolution proves every job accepted before the drain began has
-// finished. Capacity counts queue entries (a batch is one entry, matching
-// the old channel's semantics); barriers are exempt so a drain can always
-// park its sentinel.
+// tband is one priority band's tenant-aware run queue: a per-tenant EDF
+// heap plus a weighted round-robin over the tenants that currently have
+// work. Strict priority still holds across bands; *within* a band, a
+// tenant flooding its own subqueue only lengthens its own line — the WRR
+// guarantees every active tenant with weight w is served w jobs out of
+// every sum(weights) pops, so the wait for a co-resident tenant's next
+// job is bounded by the round, not by the flooder's backlog. Jobs without
+// a tenant label share the "" subqueue (weight 1 unless configured), so a
+// single-tenant or unlabelled pool degenerates to the band's old pure-EDF
+// order.
+type tband struct {
+	subs    map[string]*jobHeap
+	active  []string // tenants with queued work, in WRR order
+	rr      int      // index into active of the tenant currently served
+	credit  int      // pops remaining in the current tenant's turn
+	weights map[string]int
+	size    int
+}
+
+func (b *tband) weight(tenant string) int {
+	if w := b.weights[tenant]; w > 0 {
+		return w
+	}
+	return 1
+}
+
+func (b *tband) push(j *job) {
+	if b.subs == nil {
+		b.subs = make(map[string]*jobHeap)
+	}
+	h, ok := b.subs[j.tenant]
+	if !ok {
+		h = &jobHeap{}
+		b.subs[j.tenant] = h
+	}
+	if h.Len() == 0 {
+		b.active = append(b.active, j.tenant)
+	}
+	heap.Push(h, j)
+	b.size++
+}
+
+// pop serves the current tenant's earliest deadline, consuming one credit
+// of its weighted turn; an exhausted turn or emptied subqueue advances the
+// round-robin. Returns nil when the band is empty.
+func (b *tband) pop() *job {
+	if b.size == 0 {
+		return nil
+	}
+	if b.rr >= len(b.active) {
+		b.rr = 0
+	}
+	tenant := b.active[b.rr]
+	if b.credit <= 0 {
+		b.credit = b.weight(tenant)
+	}
+	h := b.subs[tenant]
+	j := heap.Pop(h).(*job)
+	b.size--
+	b.credit--
+	if h.Len() == 0 {
+		// Tenant ran dry mid-turn: retire it from the round; rr now points
+		// at the next active tenant (wrapped lazily on the next pop).
+		b.active = append(b.active[:b.rr], b.active[b.rr+1:]...)
+		b.credit = 0
+	} else if b.credit == 0 {
+		b.rr++
+	}
+	return j
+}
+
+// pqueue is one device's bounded priority queue: numClasses tenant-aware
+// EDF bands popped highest band first, plus a FIFO of drain barriers that
+// only pop when every band is empty — the worker is sequential, so a
+// barrier's resolution proves every job accepted before the drain began
+// has finished. Capacity counts queue entries (a batch is one entry,
+// matching the old channel's semantics); barriers are exempt so a drain
+// can always park its sentinel.
 //
 // The queue has exactly one consumer (the device worker). notEmpty and
 // space are capacity-1 wakeup tokens, not item counts: a consumer or an
@@ -113,7 +184,7 @@ func (h *jobHeap) Pop() interface{} {
 // push/pop, and stale tokens only cost a spurious rescan.
 type pqueue struct {
 	mu       sync.Mutex
-	bands    [numClasses]jobHeap
+	bands    [numClasses]tband
 	barriers []*job
 	entries  int
 	capacity int
@@ -125,13 +196,17 @@ type pqueue struct {
 	space    chan struct{}
 }
 
-func newPQueue(capacity int, draining *atomic.Bool) *pqueue {
-	return &pqueue{
+func newPQueue(capacity int, draining *atomic.Bool, weights map[string]int) *pqueue {
+	q := &pqueue{
 		capacity: capacity,
 		draining: draining,
 		notEmpty: make(chan struct{}, 1),
 		space:    make(chan struct{}, 1),
 	}
+	for c := range q.bands {
+		q.bands[c].weights = weights
+	}
+	return q
 }
 
 func signal(ch chan struct{}) {
@@ -158,7 +233,7 @@ func (q *pqueue) push(j *job, force bool) pushVerdict {
 		q.mu.Unlock()
 		return pushFull
 	}
-	heap.Push(&q.bands[j.class.clamp()], j)
+	q.bands[j.class.clamp()].push(j)
 	q.entries++
 	q.mu.Unlock()
 	signal(q.notEmpty)
@@ -188,8 +263,7 @@ func (q *pqueue) pop() *job {
 	for {
 		q.mu.Lock()
 		for c := numClasses - 1; c >= 0; c-- {
-			if len(q.bands[c]) > 0 {
-				j := heap.Pop(&q.bands[c]).(*job)
+			if j := q.bands[c].pop(); j != nil {
 				q.entries--
 				q.mu.Unlock()
 				signal(q.space)

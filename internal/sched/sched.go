@@ -134,6 +134,13 @@ type Config struct {
 	// (the device is never probed or routed to again, and a fleet manager
 	// may replace it). Zero or negative disables permanent quarantine.
 	PermanentAfter int
+	// TenantWeights sets each tenant's share of the per-band weighted
+	// round-robin: out of every sum(weights) pops a band serves, tenant t
+	// gets TenantWeights[t] of them. Unlisted tenants (and the "" tenant
+	// that unlabelled jobs share) weigh 1. Weights shape service order
+	// only within one priority band; strict priority across bands is
+	// unchanged.
+	TenantWeights map[string]int
 }
 
 // SubmitOptions carries a job's QoS contract; the zero value is
@@ -148,6 +155,12 @@ type SubmitOptions struct {
 	// instead of occupying a device, and a blocked admission gives up
 	// when the deadline passes.
 	Deadline time.Time
+	// Tenant labels the job for fair-share queueing and RP routing: the
+	// job lands in its tenant's subqueue of the chosen band (see
+	// Config.TenantWeights) and is only routed to partitions dedicated to
+	// this tenant or shared ones. Empty means unlabelled — shared
+	// partitions only, "" subqueue.
+	Tenant string
 }
 
 // Lifecycle errors.
@@ -243,8 +256,11 @@ type job struct {
 	attempts int // re-dispatches so far
 
 	// QoS: class selects the band, deadlineNs (UnixNano, MaxInt64 when
-	// none) orders the band's EDF heap with seq as the FIFO tie-break.
+	// none) orders the band's EDF heap with seq as the FIFO tie-break;
+	// tenant selects the band's fair-share subqueue and constrains
+	// routing to shared or same-tenant partitions.
 	class      Class
+	tenant     string
 	deadline   time.Time
 	deadlineNs int64
 	seq        uint64
@@ -307,10 +323,18 @@ func (j *job) fail(err error) {
 }
 
 // device is one registered system plus its queue, counters, and health.
+// With spatial sharing the schedulable unit is the reconfigurable
+// partition, not the board: each co-resident RP of one die registers as
+// its own device — own queue, own worker, own breaker — identified by
+// (DNA, rp). tenant, when non-empty, dedicates the partition: routing
+// offers it only that tenant's jobs; "" serves everyone.
 type device struct {
-	sys    *core.System
-	q      *pqueue
-	queued atomic.Int64 // accepted and unfinished, batches weighted
+	sys     *core.System
+	rp      int
+	tenant  string
+	q       *pqueue
+	rpGauge *metrics.Gauge // per-RP queue depth, mirrors queued
+	queued  atomic.Int64   // accepted and unfinished, batches weighted
 
 	completed atomic.Uint64
 	failed    atomic.Uint64
@@ -342,6 +366,7 @@ func (d *device) enqueue(j *job, force bool) pushVerdict {
 		n := j.size()
 		d.queued.Add(n)
 		mQueueDepth.Add(n)
+		d.rpGauge.Add(n)
 	}
 	return v
 }
@@ -352,6 +377,7 @@ func (d *device) depart(j *job) {
 	n := j.size()
 	d.queued.Add(-n)
 	mQueueDepth.Add(-n)
+	d.rpGauge.Add(-n)
 }
 
 // routable reports whether routing should consider this device at all —
@@ -561,6 +587,7 @@ func (d *device) runBatch(s *Scheduler, j *job) {
 				kernel:     j.kernel,
 				attempts:   j.attempts + 1,
 				class:      j.class,
+				tenant:     j.tenant,
 				deadline:   j.deadline,
 				deadlineNs: j.deadlineNs,
 				seq:        j.seq,
@@ -609,6 +636,7 @@ type Scheduler struct {
 	quarantineBase  time.Duration
 	quarantineMax   time.Duration
 	permanentAfter  int
+	tenantWeights   map[string]int
 }
 
 // New returns an empty scheduler; add systems with Register.
@@ -621,6 +649,7 @@ func New(cfg Config) *Scheduler {
 		quarantineBase:  cfg.QuarantineBase,
 		quarantineMax:   cfg.QuarantineMax,
 		permanentAfter:  cfg.PermanentAfter,
+		tenantWeights:   cfg.TenantWeights,
 	}
 	if s.queueDepth <= 0 {
 		s.queueDepth = DefaultQueueDepth
@@ -642,11 +671,21 @@ func New(cfg Config) *Scheduler {
 	return s
 }
 
-// Register adds a booted system to the pool and starts its worker. The
-// system must have completed SecureBoot (or the remote provisioning
-// handshake): the scheduler never boots devices itself, because boot is
-// where attestation evidence is checked and that belongs to the owner.
+// Register adds a booted system to the pool as a shared partition (any
+// tenant's work may route to it) and starts its worker. The system must
+// have completed SecureBoot (or the remote provisioning handshake): the
+// scheduler never boots devices itself, because boot is where attestation
+// evidence is checked and that belongs to the owner. The schedulable unit
+// is the system's reconfigurable partition — co-resident RPs of one die
+// register independently and queue, dispatch, and drain independently.
 func (s *Scheduler) Register(sys *core.System) error {
+	return s.RegisterTenant(sys, "")
+}
+
+// RegisterTenant is Register with the partition dedicated to one tenant:
+// routing offers it only jobs submitted with the same SubmitOptions.Tenant
+// label. An empty tenant registers a shared partition.
+func (s *Scheduler) RegisterTenant(sys *core.System, tenant string) error {
 	if sys == nil {
 		return fmt.Errorf("sched: nil system")
 	}
@@ -658,8 +697,19 @@ func (s *Scheduler) Register(sys *core.System) error {
 	if s.closed {
 		return ErrSchedulerClosed
 	}
-	d := &device{sys: sys}
-	d.q = newPQueue(s.queueDepth, &d.draining)
+	rp := sys.Partition()
+	for _, dd := range s.devices {
+		if dd.sys.Device.DNA() == sys.Device.DNA() && dd.rp == rp {
+			return fmt.Errorf("sched: partition %s/rp%d already registered", sys.Device.DNA(), rp)
+		}
+	}
+	d := &device{
+		sys:     sys,
+		rp:      rp,
+		tenant:  tenant,
+		rpGauge: metrics.Default().Gauge(fmt.Sprintf("salus_sched_rp_queue_depth_%s_rp%d", sys.Device.DNA(), rp)),
+	}
+	d.q = newPQueue(s.queueDepth, &d.draining, s.tenantWeights)
 	s.devices = append(s.devices, d)
 	s.wg.Add(1)
 	go d.run(s)
@@ -683,66 +733,120 @@ func (s *Scheduler) RegisterPipeline(p *core.Pipeline) error {
 // the very next submission, no restart or pause required.
 func (s *Scheduler) AddDevice(sys *core.System) error { return s.Register(sys) }
 
-// findDevice returns the registered device with the DNA, or nil. Callers
-// hold at least mu.RLock.
-func (s *Scheduler) findDevice(dna fpga.DNA) *device {
+// findDevices returns every registered partition of the board with the
+// DNA, in registration order (so partition 0 first when boards register
+// their RPs in order). Callers hold at least mu.RLock.
+func (s *Scheduler) findDevices(dna fpga.DNA) []*device {
+	var out []*device
 	for _, d := range s.devices {
 		if d.sys.Device.DNA() == dna {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// findRP returns the one registered partition (dna, rp), or nil. Callers
+// hold at least mu.RLock.
+func (s *Scheduler) findRP(dna fpga.DNA, rp int) *device {
+	for _, d := range s.devices {
+		if d.sys.Device.DNA() == dna && d.rp == rp {
 			return d
 		}
 	}
 	return nil
 }
 
-// Drain stops routing new work to the device and waits — bounded by
-// timeout, where <= 0 means wait forever — until every job it had already
-// accepted has finished. It flips the routing flag (the queue checks it
-// under its own lock, so no submission can slip in afterwards) and parks
-// a barrier sentinel below every priority band: the barrier pops only
-// once the queue is empty, so its resolution proves the accepted work ran
-// dry. On ErrDrainTimeout the device stays unroutable and its remaining
-// jobs keep running (their futures still resolve); a drained device can
-// be decommissioned with Remove or handed back to routing only by a
-// future Register of its system.
+// serves reports whether the partition may be offered this tenant's work:
+// shared partitions serve everyone, dedicated ones only their own tenant.
+func (d *device) serves(tenant string) bool {
+	return d.tenant == "" || d.tenant == tenant
+}
+
+// Drain stops routing new work to every partition of the board and waits
+// — bounded by timeout, where <= 0 means wait forever — until every job
+// the board had already accepted has finished. Each RP flips its routing
+// flag (the queue checks it under its own lock, so no submission can slip
+// in afterwards) and parks a barrier sentinel below every priority band:
+// a barrier pops only once its queue is empty, so the last barrier's
+// resolution proves the whole die ran dry. On ErrDrainTimeout the board
+// stays unroutable and its remaining jobs keep running (their futures
+// still resolve); a drained board can be decommissioned with Remove or
+// handed back to routing only by a future Register of its systems. Use
+// DrainRP to drain one co-resident partition without disturbing its
+// siblings.
 func (s *Scheduler) Drain(dna fpga.DNA, timeout time.Duration) error {
-	start := time.Now()
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
 		return ErrSchedulerClosed
 	}
-	d := s.findDevice(dna)
-	if d == nil {
+	ds := s.findDevices(dna)
+	if len(ds) == 0 {
 		s.mu.RUnlock()
 		return fmt.Errorf("%w: %s", ErrUnknownDevice, dna)
 	}
+	for _, d := range ds {
+		d.draining.Store(true)
+	}
+	s.mu.RUnlock()
+	return drainDevices(ds, timeout, dna)
+}
+
+// DrainRP is Drain scoped to one reconfigurable partition: co-resident
+// RPs of the same die keep serving while (dna, rp) runs its queue dry —
+// the spatial-sharing reclaim path, where one tenant's partition is
+// vacated for re-placement without evicting its neighbours.
+func (s *Scheduler) DrainRP(dna fpga.DNA, rp int, timeout time.Duration) error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrSchedulerClosed
+	}
+	d := s.findRP(dna, rp)
+	if d == nil {
+		s.mu.RUnlock()
+		return fmt.Errorf("%w: %s/rp%d", ErrUnknownDevice, dna, rp)
+	}
 	d.draining.Store(true)
 	s.mu.RUnlock()
+	return drainDevices([]*device{d}, timeout, dna)
+}
 
-	j := &job{fut: &Future{done: make(chan struct{})}, barrier: true}
-	if !d.q.pushBarrier(j) {
-		// The queue is already closed: its worker drained everything and
-		// exited, which is exactly the post-condition a drain wants.
-		return nil
+// drainDevices parks one barrier per already-draining device and waits
+// for all of them under one shared deadline.
+func drainDevices(ds []*device, timeout time.Duration, dna fpga.DNA) error {
+	start := time.Now()
+	futs := make([]*Future, 0, len(ds))
+	for _, d := range ds {
+		j := &job{fut: &Future{done: make(chan struct{})}, barrier: true}
+		if d.q.pushBarrier(j) {
+			futs = append(futs, j.fut)
+		}
+		// A closed queue means that worker already drained everything and
+		// exited — exactly the post-condition a drain wants.
 	}
-	if timeout <= 0 {
-		_, _ = j.fut.Wait()
-		return nil
-	}
-	remaining := timeout - time.Since(start)
-	if _, err := j.fut.WaitTimeout(remaining); err != nil {
-		return fmt.Errorf("%w: %s", ErrDrainTimeout, dna)
+	for _, f := range futs {
+		if timeout <= 0 {
+			_, _ = f.Wait()
+			continue
+		}
+		remaining := timeout - time.Since(start)
+		if _, err := f.WaitTimeout(remaining); err != nil {
+			return fmt.Errorf("%w: %s", ErrDrainTimeout, dna)
+		}
 	}
 	return nil
 }
 
-// Remove drains the device (bounded by timeout) and decommissions it:
-// unregisters it from the pool, closes its queue, and returns its system
-// so the caller can recycle the board. A drain timeout does NOT abort the
-// removal — the device leaves the pool immediately and its worker keeps
-// resolving the leftover queue before exiting, so no accepted job is ever
-// lost; the ErrDrainTimeout is returned alongside the system to report
-// that shutdown outlived the deadline.
+// Remove drains the whole board (bounded by timeout) and decommissions
+// every one of its partitions: unregisters them from the pool, closes
+// their queues, and returns the lowest-numbered partition's system so the
+// caller can recycle the board. A drain timeout does NOT abort the
+// removal — the board leaves the pool immediately and its workers keep
+// resolving the leftover queues before exiting, so no accepted job is
+// ever lost; the ErrDrainTimeout is returned alongside the system to
+// report that shutdown outlived the deadline.
 func (s *Scheduler) Remove(dna fpga.DNA, timeout time.Duration) (*core.System, error) {
 	drainErr := s.Drain(dna, timeout)
 	if drainErr != nil && !errors.Is(drainErr, ErrDrainTimeout) {
@@ -753,9 +857,48 @@ func (s *Scheduler) Remove(dna fpga.DNA, timeout time.Duration) (*core.System, e
 		s.mu.Unlock()
 		return nil, ErrSchedulerClosed
 	}
+	var removed []*device
+	kept := s.devices[:0]
+	for _, dd := range s.devices {
+		if dd.sys.Device.DNA() == dna {
+			removed = append(removed, dd)
+		} else {
+			kept = append(kept, dd)
+		}
+	}
+	s.devices = kept
+	s.mu.Unlock()
+	if len(removed) == 0 {
+		// A concurrent Remove got here first.
+		return nil, fmt.Errorf("%w: %s", ErrUnknownDevice, dna)
+	}
+	first := removed[0]
+	for _, d := range removed {
+		d.q.close()
+		if d.rp < first.rp {
+			first = d
+		}
+	}
+	return first.sys, drainErr
+}
+
+// RemoveRP drains and decommissions one partition, leaving co-resident
+// RPs of the same die serving. The returned system is reclaim-ready: the
+// caller zeroizes its key material (core.System.Reclaim) before the
+// fabric is re-placed for another tenant.
+func (s *Scheduler) RemoveRP(dna fpga.DNA, rp int, timeout time.Duration) (*core.System, error) {
+	drainErr := s.DrainRP(dna, rp, timeout)
+	if drainErr != nil && !errors.Is(drainErr, ErrDrainTimeout) {
+		return nil, drainErr
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrSchedulerClosed
+	}
 	var d *device
 	for i, dd := range s.devices {
-		if dd.sys.Device.DNA() == dna {
+		if dd.sys.Device.DNA() == dna && dd.rp == rp {
 			d = dd
 			s.devices = append(s.devices[:i], s.devices[i+1:]...)
 			break
@@ -763,8 +906,7 @@ func (s *Scheduler) Remove(dna fpga.DNA, timeout time.Duration) (*core.System, e
 	}
 	s.mu.Unlock()
 	if d == nil {
-		// A concurrent Remove got here first.
-		return nil, fmt.Errorf("%w: %s", ErrUnknownDevice, dna)
+		return nil, fmt.Errorf("%w: %s/rp%d", ErrUnknownDevice, dna, rp)
 	}
 	d.q.close()
 	return d.sys, drainErr
@@ -778,7 +920,7 @@ func (s *Scheduler) Remove(dna fpga.DNA, timeout time.Duration) (*core.System, e
 // ties broken round-robin so an idle pool spreads work instead of
 // hammering device 0. The second return reports whether the choice
 // currently has queue space. Callers hold at least mu.RLock.
-func (s *Scheduler) pick(kernelName string, exclude *device) (*device, bool) {
+func (s *Scheduler) pick(kernelName, tenant string, exclude *device) (*device, bool) {
 	n := len(s.devices)
 	if n == 0 {
 		return nil, false
@@ -789,7 +931,7 @@ func (s *Scheduler) pick(kernelName string, exclude *device) (*device, bool) {
 	var bestSpaceQ, bestQ, fallbackQ int64
 	for i := 0; i < n; i++ {
 		d := s.devices[(start+i)%n]
-		if d == exclude || d.sys.Package.KernelName != kernelName {
+		if d == exclude || d.sys.Package.KernelName != kernelName || !d.serves(tenant) {
 			continue
 		}
 		if !d.routable() {
@@ -826,19 +968,22 @@ func (s *Scheduler) pick(kernelName string, exclude *device) (*device, bool) {
 // route picks a target under mu.RLock; hasSpace reports whether its queue
 // could currently admit a non-forced push. The push itself happens
 // outside the lock and may still race to full — callers loop.
-func (s *Scheduler) route(kernelName string, exclude *device) (*device, bool, error) {
+func (s *Scheduler) route(kernelName, tenant string, exclude *device) (*device, bool, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
 		return nil, false, ErrSchedulerClosed
 	}
-	d, hasSpace := s.pick(kernelName, exclude)
+	d, hasSpace := s.pick(kernelName, tenant, exclude)
 	if d == nil && exclude != nil {
-		// Nobody else runs this kernel; the faulting device is still the
-		// only candidate.
-		d, hasSpace = s.pick(kernelName, nil)
+		// Nobody else runs this kernel for this tenant; the faulting
+		// device is still the only candidate.
+		d, hasSpace = s.pick(kernelName, tenant, nil)
 	}
 	if d == nil {
+		if tenant != "" {
+			return nil, false, fmt.Errorf("sched: no registered device runs kernel %q for tenant %q", kernelName, tenant)
+		}
 		return nil, false, fmt.Errorf("sched: no registered device runs kernel %q", kernelName)
 	}
 	return d, hasSpace, nil
@@ -864,7 +1009,7 @@ func (s *Scheduler) admit(j *job) error {
 		deadlineC = dt.C
 	}
 	for {
-		d, hasSpace, err := s.route(j.kernel, nil)
+		d, hasSpace, err := s.route(j.kernel, j.tenant, nil)
 		if err != nil {
 			return err
 		}
@@ -940,7 +1085,7 @@ func (s *Scheduler) submitBatch(j *job) {
 // futures with the fault.
 func (s *Scheduler) redispatch(j *job, from *device, cause error) {
 	for {
-		d, _, err := s.route(j.kernel, from)
+		d, _, err := s.route(j.kernel, j.tenant, from)
 		if err != nil {
 			mFailed.Add(uint64(j.size()))
 			j.fail(fmt.Errorf("sched: retry %d dead-ended (%v): %w", j.attempts, err, cause))
@@ -995,6 +1140,7 @@ func (s *Scheduler) SubmitSealedOpts(kernelName string, params [4]uint64, sealed
 // applyOptions stamps the job's QoS fields from opt.
 func (j *job) applyOptions(opt SubmitOptions) {
 	j.class = opt.Class.clamp()
+	j.tenant = opt.Tenant
 	j.deadline = opt.Deadline
 	if opt.Deadline.IsZero() {
 		j.deadlineNs = math.MaxInt64
@@ -1082,7 +1228,12 @@ func (s *Scheduler) SubmitSealedBatchOpts(kernelName string, jobs []core.SealedJ
 
 // DeviceStats is one device's lifetime counters and health snapshot.
 type DeviceStats struct {
-	DNA       fpga.DNA
+	DNA fpga.DNA
+	// RP is the reconfigurable partition index on the die; co-resident
+	// partitions of one board report one row each, same DNA.
+	RP int
+	// Tenant is the partition's dedication ("" = shared).
+	Tenant    string
 	Kernel    string
 	Queued    int64
 	Completed uint64
@@ -1139,6 +1290,8 @@ func (s *Scheduler) Stats() []DeviceStats {
 		d.hmu.Unlock()
 		out = append(out, DeviceStats{
 			DNA:               d.sys.Device.DNA(),
+			RP:                d.rp,
+			Tenant:            d.tenant,
 			Kernel:            d.sys.Package.KernelName,
 			Queued:            d.queued.Load(),
 			Completed:         d.completed.Load(),

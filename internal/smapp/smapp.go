@@ -202,6 +202,24 @@ func New(cfg Config) (*SMApp, error) {
 // Measurement returns the SM enclave's MRENCLAVE.
 func (a *SMApp) Measurement() sgx.Measurement { return a.enclave.Measurement() }
 
+// Zeroize destroys the enclave's key material in place — device key,
+// Key_attest, Key_session, and the local attestation key — and drops the
+// cached channel sealer. A reclaimed partition's secure channel dies with
+// its tenant: no frame sealed under the old epoch can ever verify again,
+// because the keys no longer exist anywhere.
+func (a *SMApp) Zeroize() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, b := range [][]byte{a.laKey, a.deviceKey, a.keyAttest, a.keySession} {
+		for i := range b {
+			b[i] = 0
+		}
+	}
+	a.laKey, a.deviceKey, a.keyAttest, a.keySession = nil, nil, nil, nil
+	a.sealer = nil
+	a.attested = false
+}
+
 // Attested reports whether the CL has passed attestation.
 func (a *SMApp) Attested() bool { return a.attested }
 

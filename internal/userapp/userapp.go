@@ -292,6 +292,23 @@ func (u *UserApp) DataKey() ([]byte, error) {
 	return append([]byte(nil), u.dataKey...), nil
 }
 
+// Zeroize destroys the enclave's key material in place — data key, local
+// attestation key, and any pending key-agreement state — so a reclaimed
+// partition leaves nothing for the next tenant's co-residency window to
+// recover. The enclave cannot serve afterwards.
+func (u *UserApp) Zeroize() {
+	for i := range u.dataKey {
+		u.dataKey[i] = 0
+	}
+	u.dataKey = nil
+	for i := range u.laKey {
+		u.laKey[i] = 0
+	}
+	u.laKey = nil
+	u.dataPriv = nil
+	u.handoffPriv = nil
+}
+
 // SecureReg issues a register transaction over the SM-protected channel.
 func (u *UserApp) SecureReg(txn channel.RegTxn) (channel.RegResult, error) {
 	if u.cfg.SM == nil {
